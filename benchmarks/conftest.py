@@ -1,0 +1,35 @@
+"""Benchmark-session fixtures.
+
+The experiment context is process-wide, so the expensive planning
+campaigns (the EasyCrash workflow per application) are paid once per
+``pytest benchmarks/`` session and shared by every table/figure driver.
+
+Set ``REPRO_BENCH_SCALE=quick|default|paper`` to trade fidelity for time.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.context import get_context
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return get_context()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(report, results_dir):
+    """Print a regenerated table/figure and persist it as an artifact."""
+    text = report.render()
+    print("\n" + text)
+    report.save(results_dir)
+    return report

@@ -1,0 +1,168 @@
+"""Ablations of EasyCrash's design choices (DESIGN.md Sec. 5).
+
+Each ablation isolates one ingredient of the design and shows what it
+buys: flush-frequency interpolation (Eq. 5), correlation-based object
+selection, the crash-time distribution, and the flush instruction choice
+(CLWB vs CLFLUSHOPT).
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.harness.experiments import ExperimentReport
+from repro.nvct.campaign import CampaignConfig, run_campaign
+from repro.nvct.plan import PersistencePlan
+from repro.perf.costmodel import CostModel
+from repro.util.rng import derive_rng
+
+
+def test_ablation_flush_frequency(benchmark, ctx, results_dir):
+    """Eq. 5's frequency dimension: recomputability vs flush frequency
+    should interpolate between the baseline and the every-iteration
+    maximum — the knob the knapsack uses under tight budgets."""
+
+    def run():
+        rows = []
+        name = "kmeans"
+        crit = list(ctx.plan_report(name).critical_objects)
+        base = ctx.plan_report(name).baseline_campaign.recomputability()
+        maxr = None
+        for x in (1, 2, 4, 8):
+            camp = ctx.campaign(
+                name,
+                PersistencePlan.at_loop_end(crit, frequency=x),
+                f"abl-freq-{x}",
+            )
+            r = camp.recomputability()
+            if x == 1:
+                maxr = r
+            predicted = (maxr - base) / x + base
+            rows.append([f"every {x} iteration(s)", r, predicted])
+        rows.append(["no flushing", base, base])
+        return ExperimentReport(
+            "Ablation frequency",
+            "kmeans recomputability vs flush frequency (measured vs Eq. 5)",
+            ["Frequency", "Measured", "Eq. 5 prediction"],
+            rows,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, results_dir)
+    measured = [row[1] for row in report.rows[:4]]
+    assert measured == sorted(measured, reverse=True)  # monotone in x
+    # Eq. 5 is a usable approximation (the paper relies on it).
+    for row in report.rows[:4]:
+        assert abs(row[1] - row[2]) < 0.30
+
+
+def test_ablation_selection_strategy(benchmark, ctx, results_dir):
+    """Correlation-based selection vs naive strategies at equal effort."""
+
+    def run():
+        name = "IS"
+        report = ctx.plan_report(name)
+        crit = list(report.critical_objects)
+        heap = ctx.factory(name).make(None).ws.heap
+        candidates = [o.name for o in heap.candidates()]
+        rng = derive_rng(7, "ablation-selection")
+        random_pick = list(rng.choice(candidates, size=min(len(crit), len(candidates)), replace=False))
+        largest = sorted(candidates, key=lambda n: heap.objects[n].nbytes, reverse=True)[: len(crit)]
+        rows = []
+        for label, objs in (
+            ("EasyCrash selection", crit),
+            ("random objects", random_pick),
+            ("largest objects", largest),
+        ):
+            camp = ctx.campaign(
+                name, PersistencePlan.at_loop_end(objs), f"abl-sel-{label}"
+            )
+            size = sum(heap.objects[n].nbytes for n in objs)
+            rows.append([label, ", ".join(objs), size, camp.recomputability()])
+        return ExperimentReport(
+            "Ablation selection",
+            "IS recomputability: what you flush matters more than how much",
+            ["Strategy", "Objects", "Bytes flushed/op", "Recomputability"],
+            rows,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, results_dir)
+    by = {r[0]: r for r in report.rows}
+    ec = by["EasyCrash selection"]
+    largest = by["largest objects"]
+    # The selected (tiny) objects beat the largest-objects heuristic,
+    # which burns orders of magnitude more flush traffic.
+    assert ec[3] >= largest[3] - 0.05
+    assert ec[2] < largest[2]
+
+
+def test_ablation_crash_distribution(benchmark, ctx, results_dir):
+    """Sensitivity of measured recomputability to the crash-time
+    distribution (the paper assumes discrete uniform)."""
+
+    def run():
+        name = "MG"
+        rows = []
+        for dist in ("uniform", "early", "late"):
+            cfg = CampaignConfig(
+                n_tests=ctx.settings.n_tests,
+                seed=ctx.settings.seed + 1,
+                plan=PersistencePlan.none(),
+                distribution=dist,
+            )
+            camp = run_campaign(ctx.factory(name), cfg)
+            rows.append([dist, camp.recomputability()])
+        return ExperimentReport(
+            "Ablation crash distribution",
+            "MG baseline recomputability under different crash-time distributions",
+            ["Distribution", "Recomputability"],
+            rows,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, results_dir)
+    vals = {r[0]: r[1] for r in report.rows}
+    assert all(0.0 <= v <= 1.0 for v in vals.values())
+
+
+def test_ablation_flush_instruction(benchmark, ctx, results_dir):
+    """CLWB (retain line) vs CLFLUSHOPT (invalidate): same NVM image,
+    different cost — the reason the paper's estimator doubles CLFLUSH
+    costs and modern persistence code prefers CLWB."""
+
+    def run():
+        name = "MG"
+        crit = list(ctx.plan_report(name).critical_objects)
+        cm = CostModel()
+        baseline = ctx.measure(name, ctx.plan_baseline_no_iterator(), "t4-baseline")
+        rows = []
+        for label, invalidate in (("CLWB", False), ("CLFLUSHOPT", True)):
+            plan = PersistencePlan(
+                objects=tuple(crit), at_iteration_end=True, invalidate=invalidate
+            )
+            stats = ctx.measure(name, plan, f"abl-instr-{label}")
+            camp = ctx.campaign(name, plan, f"abl-instr-{label}")
+            rows.append(
+                [
+                    label,
+                    camp.recomputability(),
+                    cm.normalized_time(stats.memory, baseline.memory, invalidate=invalidate),
+                    stats.memory.nvm_fills,
+                ]
+            )
+        return ExperimentReport(
+            "Ablation flush instruction",
+            "MG under CLWB vs CLFLUSHOPT persistence",
+            ["Instruction", "Recomputability", "Norm. time", "NVM fills"],
+            rows,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, results_dir)
+    by = {r[0]: r for r in report.rows}
+    # Equal protection...
+    assert abs(by["CLWB"][1] - by["CLFLUSHOPT"][1]) < 0.15
+    # ...but invalidation costs more (reloads -> more fills, more time).
+    assert by["CLFLUSHOPT"][3] >= by["CLWB"][3]
+    assert by["CLFLUSHOPT"][2] >= by["CLWB"][2] - 1e-9

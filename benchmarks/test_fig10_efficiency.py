@@ -1,0 +1,22 @@
+"""Regenerates Figure 10: end-to-end system efficiency (MTBF 12 h)."""
+
+from conftest import emit
+
+from repro.harness import experiments
+
+
+def test_fig10(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        lambda: experiments.fig10_system_efficiency(ctx), rounds=1, iterations=1
+    )
+    emit(report, results_dir)
+    rows = {r[0]: r for r in report.rows}
+    # Shape: the EasyCrash advantage grows with checkpoint cost
+    # (paper: 2% / 3% / 15% average gain at 32/320/3200 s).
+    gains = [rows[f"T_chk={t}s"][4] - rows[f"T_chk={t}s"][1] for t in (32, 320, 3200)]
+    assert gains[0] >= -1e-9
+    assert gains[2] > gains[1] > gains[0] - 1e-9
+    assert gains[2] > 0.05
+    # tau shrinks as checkpoints get more expensive.
+    taus = [rows[f"T_chk={t}s"][5] for t in (32, 320, 3200)]
+    assert taus[0] > taus[1] > taus[2]

@@ -1,0 +1,22 @@
+"""Regenerates Figure 11: efficiency scaling with machine size (CG)."""
+
+from conftest import emit
+
+from repro.harness import experiments
+
+
+def test_fig11(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        lambda: experiments.fig11_scaling(ctx), rounds=1, iterations=1
+    )
+    emit(report, results_dir)
+    rows = {r[0]: r for r in report.rows}
+    for t_chk in (32, 3200):
+        gains = [
+            rows[f"T_chk={t_chk}s, {n}k nodes"][2] - rows[f"T_chk={t_chk}s, {n}k nodes"][1]
+            for n in (100, 200, 400)
+        ]
+        # With EasyCrash the system always does at least as well, and the
+        # advantage grows with scale (paper Fig. 11).
+        assert all(g >= -1e-9 for g in gains)
+        assert gains[2] >= gains[0]

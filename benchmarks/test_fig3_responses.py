@@ -1,0 +1,22 @@
+"""Regenerates Figure 3: post-crash response classes without persistence."""
+
+from conftest import emit
+
+from repro.harness import experiments
+
+
+def test_fig3(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        lambda: experiments.fig3_responses(ctx), rounds=1, iterations=1
+    )
+    emit(report, results_dir)
+    rows = {r[0]: r for r in report.rows}
+    # Shape: different applications have very different recomputability
+    # (Observation 1); EP/botsspar near zero, SP high.
+    assert rows["EP"][1] < 0.1
+    assert rows["botsspar"][1] < 0.1
+    assert rows["SP"][1] > 0.5
+    # kmeans is dominated by extra-iteration recoveries (S2).
+    assert rows["kmeans"][2] > 0.5
+    # IS cannot recompute (interruptions/verification failures).
+    assert rows["IS"][3] + rows["IS"][4] > 0.8

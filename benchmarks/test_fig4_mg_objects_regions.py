@@ -1,0 +1,30 @@
+"""Regenerates Figure 4: MG sensitivity to which object / which region."""
+
+from conftest import emit
+
+from repro.harness import experiments
+
+
+def test_fig4a_objects(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        lambda: experiments.fig4_mg_objects(ctx), rounds=1, iterations=1
+    )
+    emit(report, results_dir)
+    vals = {row[0]: row[1] for row in report.rows}
+    # Observation 2: persisting u helps much more than persisting r.
+    assert vals["persist u"] > vals["none (iterator only)"] + 0.2
+    assert vals["persist r"] < vals["persist u"] - 0.2
+
+
+def test_fig4b_regions(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        lambda: experiments.fig4_mg_regions(ctx), rounds=1, iterations=1
+    )
+    emit(report, results_dir)
+    vals = {row[0]: row[1] for row in report.rows}
+    base = vals["none"]
+    per_region = {k: v for k, v in vals.items() if k.startswith("persist u at R")}
+    # Observation 3: region choice matters — the best and worst single
+    # regions differ substantially.
+    assert max(per_region.values()) - min(per_region.values()) > 0.15
+    assert max(per_region.values()) > base + 0.1

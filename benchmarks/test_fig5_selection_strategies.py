@@ -1,0 +1,21 @@
+"""Regenerates Figure 5: selected vs all-candidate persistence."""
+
+import numpy as np
+from conftest import emit
+
+from repro.harness import experiments
+
+
+def test_fig5(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        lambda: experiments.fig5_selection_strategies(ctx), rounds=1, iterations=1
+    )
+    emit(report, results_dir)
+    # Shape: persisting the selected objects recovers almost all of the
+    # all-candidates recomputability (paper: within 3%; we allow slack for
+    # the smaller campaigns).
+    diffs = [row[3] - row[2] for row in report.rows if row[0] != "EP"]
+    assert float(np.mean(diffs)) < 0.10
+    # And selection is far better than no persistence on average.
+    gains = [row[2] - row[1] for row in report.rows]
+    assert float(np.mean(gains)) > 0.2

@@ -1,0 +1,26 @@
+"""Regenerates Figure 6: the full EasyCrash result."""
+
+from conftest import emit
+
+from repro.harness import experiments
+
+
+def test_fig6(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        lambda: experiments.fig6_easycrash(ctx), rounds=1, iterations=1
+    )
+    emit(report, results_dir)
+    rows = {r[0]: r for r in report.rows}
+    avg = rows["Average"]
+    # Paper headline: 28% -> 82% on average.  Shape targets:
+    assert avg[3] > avg[1] + 0.3  # EasyCrash is a large improvement
+    assert avg[3] > 0.6  # high absolute recomputability
+    # EasyCrash tracks the (much more expensive) best configuration.
+    assert avg[4] >= avg[3] - 1e-9
+    assert avg[4] - avg[3] < 0.25
+    # Note: the paper's "verified" methodology (consistent copies taken at
+    # the crash instant) sits slightly *above* NVCT there; under our
+    # trajectory-exact verification a mid-iteration consistent copy can be
+    # worse than a flushed iteration boundary, so VFY is only required to
+    # stay in a sane band here (divergence documented in EXPERIMENTS.md).
+    assert avg[5] > 0.3

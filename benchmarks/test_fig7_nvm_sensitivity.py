@@ -1,0 +1,24 @@
+"""Regenerates Figure 7: performance under emulated NVM configurations."""
+
+from conftest import emit
+
+from repro.harness import experiments
+
+
+def test_fig7(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        lambda: experiments.fig7_nvm_sensitivity(ctx), rounds=1, iterations=1
+    )
+    emit(report, results_dir)
+    avg = [r for r in report.rows if r[0] == "Average"][0]
+    # Columns: EC/no-EC for 4x lat, 8x lat, 1/6 bw, 1/8 bw.
+    ec4, no4, ec8, no8, ec6, no6, ec8b, no8b = avg[1:]
+    # EasyCrash stays cheap on every configuration (paper: <9%).
+    for v in (ec4, ec8, ec6, ec8b):
+        assert v < 1.15
+    # The persist-everything baseline is much worse on every configuration,
+    # and worst on the latency-bound points (paper: 48%/62% vs 21%/22%):
+    # flushes are synchronous, so latency multipliers hit them hardest.
+    assert no4 > ec4 and no8 > ec8 and no6 > ec6 and no8b > ec8b
+    assert no8 > no4
+    assert no8 > no8b

@@ -1,0 +1,17 @@
+"""Regenerates Figure 8: performance on the Optane DC PMM preset."""
+
+from conftest import emit
+
+from repro.harness import experiments
+
+
+def test_fig8(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        lambda: experiments.fig8_optane(ctx), rounds=1, iterations=1
+    )
+    emit(report, results_dir)
+    avg = [r for r in report.rows if r[0] == "Average"][0]
+    ec, no_ec = avg[1], avg[2]
+    # Paper: EasyCrash 6% overhead on Optane, 50% without it.
+    assert ec < 1.15
+    assert no_ec > ec + 0.05

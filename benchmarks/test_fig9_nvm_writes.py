@@ -1,0 +1,23 @@
+"""Regenerates Figure 9: NVM write traffic of EasyCrash vs C/R."""
+
+from conftest import emit
+
+from repro.harness import experiments
+
+
+def test_fig9(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        lambda: experiments.fig9_nvm_writes(ctx), rounds=1, iterations=1
+    )
+    emit(report, results_dir)
+    avg = [r for r in report.rows if r[0] == "Average"][0]
+    ec, cr_crit, cr_all = avg[1], avg[2], avg[3]
+    # Shape: EasyCrash adds fewer extra writes than traditional C/R of all
+    # data objects (the paper's headline comparison: +16% vs +50%).  At
+    # mini-app scale the LLC:footprint ratio is ~20x larger than the
+    # paper's, which inflates flush-induced writes for the small hot apps
+    # (the paper itself notes EC "is not beneficial" for small objects),
+    # so the critical-object C/R variant is not strictly dominated here.
+    assert ec < cr_all
+    assert cr_crit <= cr_all + 1e-9
+    assert ec - 1.0 < 0.6  # modest extra writes over the plain run

@@ -1,0 +1,26 @@
+"""Regenerates the paper's headline summary claims end to end."""
+
+from conftest import emit
+
+from repro.harness import experiments
+
+
+def test_headline(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        lambda: experiments.headline_claims(ctx), rounds=1, iterations=1
+    )
+    emit(report, results_dir)
+    vals = {r[0]: r[1] for r in report.rows}
+    base = vals["avg recomputability w/o EasyCrash (paper: 28%)"]
+    ec = vals["avg recomputability with EasyCrash (paper: 82%)"]
+    transformed = vals["failing crashes transformed (paper: 54%)"]
+    overhead = vals["avg runtime overhead (paper: 1.5%)"]
+    reduction = vals["extra-NVM-write reduction vs C/R (paper: 44%)"]
+    gain = vals["efficiency gain @ T_chk=3200s (paper: up to 24%)"]
+    # Shape bands around the paper's headline numbers.
+    assert 0.1 < base < 0.6
+    assert ec > 0.6
+    assert transformed > 0.35
+    assert overhead < 0.06
+    assert reduction > 0.2
+    assert 0.05 < gain < 0.45

@@ -1,0 +1,103 @@
+"""Sensitivity of the plan to the overhead bound ts (paper Sec. 6).
+
+The paper also runs ts = 2% and 5%: the runtime overhead is always
+bounded by ts, but a smaller ts forces less frequent persistence and can
+push some benchmarks below the recomputability threshold τ.
+"""
+
+from conftest import emit
+
+from repro.apps.registry import get_factory
+from repro.core.planner import EasyCrashConfig, plan_easycrash
+from repro.harness.experiments import ExperimentReport
+from repro.nvct.campaign import CampaignConfig, run_campaign
+
+
+def test_sensitivity_ts(benchmark, ctx, results_dir):
+    def run():
+        name = "kmeans"  # flush-budget-sensitive: moderate critical set
+        factory = get_factory(name)
+        rows = []
+        for ts in (0.005, 0.02, 0.03, 0.05):
+            report = plan_easycrash(
+                factory,
+                EasyCrashConfig(
+                    n_tests=ctx.settings.planner_tests,
+                    seed=ctx.settings.seed,
+                    ts=ts,
+                    refinement_tests=ctx.settings.refinement_tests,
+                ),
+            )
+            val = run_campaign(
+                factory,
+                CampaignConfig(
+                    n_tests=ctx.settings.n_tests,
+                    seed=ctx.settings.seed + 5,
+                    plan=report.plan,
+                ),
+            )
+            sel = report.region_selection
+            rows.append(
+                [
+                    f"ts={ts:.1%}",
+                    sel.total_cost_share if sel else 0.0,
+                    report.predicted_recomputability,
+                    val.recomputability(),
+                ]
+            )
+        return ExperimentReport(
+            "Sensitivity ts",
+            f"{name}: plan cost and recomputability vs the overhead bound ts",
+            ["Bound", "Plan cost share", "Predicted R", "Measured R"],
+            rows,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, results_dir)
+    # The bound is always respected...
+    for row in report.rows:
+        bound = float(row[0].split("=")[1].rstrip("%")) / 100.0
+        assert row[1] <= bound + 1e-9
+    # ...and recomputability is monotone-ish in the allowed budget.
+    measured = [row[3] for row in report.rows]
+    assert measured[-1] >= measured[0] - 0.05
+
+
+def test_multicore_conclusions(benchmark, ctx, results_dir):
+    """Paper Sec. 4.1: multi-threaded runs reach the same conclusions."""
+    from repro.apps.base import AppFactory
+    from repro.apps.parallel_kmeans import ParallelKMeans
+    from repro.nvct.plan import PersistencePlan
+
+    def run():
+        factory = AppFactory(ParallelKMeans, n_points=8192, n_features=8, k=12, seed=2020)
+        rows = []
+        plans = {
+            "none": PersistencePlan.none(),
+            "critical@loop": PersistencePlan.at_loop_end(["centroids", "inertia", "assign"]),
+        }
+        for cores in (1, 4):
+            for label, plan in plans.items():
+                cfg = CampaignConfig(
+                    n_tests=max(30, ctx.settings.n_tests // 2),
+                    seed=11,
+                    plan=plan,
+                    n_cores=cores,
+                )
+                camp = run_campaign(factory, cfg)
+                rows.append([f"{cores} core(s), {label}", camp.recomputability()])
+        return ExperimentReport(
+            "Multicore",
+            "kmeans recomputability, single- vs multi-threaded (MESI-lite)",
+            ["Configuration", "Recomputability"],
+            rows,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, results_dir)
+    vals = {r[0]: r[1] for r in report.rows}
+    for cores in (1, 4):
+        assert (
+            vals[f"{cores} core(s), critical@loop"]
+            > vals[f"{cores} core(s), none"] + 0.3
+        )

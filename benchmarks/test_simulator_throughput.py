@@ -1,0 +1,81 @@
+"""Throughput of the NVCT simulation engine itself.
+
+These are classic pytest-benchmark timings (not paper figures): blocks
+per second through the vectorized cache models.  They guard against
+performance regressions that would make thousand-test campaigns
+impractical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.memsim.config import CacheLevelConfig, HierarchyConfig
+from repro.memsim.hierarchy import CacheHierarchy
+from repro.memsim.multicore import MulticoreHierarchy
+
+STREAM_BLOCKS = 200_000
+
+
+def stream(h):
+    # 20 sweeps over a 20k-block array (2x the default LLC): a realistic
+    # mini-app access mix with steady capacity evictions.
+    for i in range(20):
+        h.access(0, 20_000, write=(i % 2 == 0))
+
+
+def test_single_level_stream_throughput(benchmark):
+    def run():
+        h = CacheHierarchy(HierarchyConfig.scaled_llc())
+        stream(h)
+        return h.stats.nvm_writes
+
+    writes = benchmark(run)
+    assert writes > 0
+
+
+def test_three_level_stream_throughput(benchmark):
+    def run():
+        h = CacheHierarchy(HierarchyConfig.scaled_three_level())
+        stream(h)
+        return h.stats.nvm_writes
+
+    writes = benchmark(run)
+    assert writes > 0
+
+
+def test_multicore_stream_throughput(benchmark):
+    def run():
+        h = MulticoreHierarchy(
+            4,
+            CacheLevelConfig("L1", 32 * 1024, 8),
+            CacheLevelConfig("LLC", 640 * 1024, 10),
+        )
+        for i in range(20):
+            h.access(i % 4, 0, 20_000, write=(i % 2 == 0))
+        return h.stats.nvm_writes
+
+    writes = benchmark(run)
+    assert writes > 0
+
+
+def test_flush_throughput(benchmark):
+    h = CacheHierarchy(HierarchyConfig.scaled_llc())
+    h.access(0, 10_000, write=True)
+
+    def run():
+        return h.flush(0, 10_000)
+
+    issued, _dirty = benchmark(run)
+    assert issued == 10_000
+
+
+def test_scatter_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    blocks = rng.integers(0, 10_000, size=20_000)
+
+    def run():
+        h = CacheHierarchy(HierarchyConfig.scaled_llc())
+        h.access_blocks(blocks, write=True)
+        return h.stats.nvm_writes
+
+    benchmark(run)

@@ -1,0 +1,22 @@
+"""Regenerates Table 1: benchmark characteristics."""
+
+from conftest import emit
+
+from repro.harness import experiments
+
+
+def test_table1(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        lambda: experiments.table1_characteristics(ctx), rounds=1, iterations=1
+    )
+    emit(report, results_dir)
+    # Shape assertions: all 11 benchmarks with their paper region counts.
+    apps = {row[0]: row for row in report.rows}
+    assert len(apps) == 11
+    assert apps["CG"][1] == 6
+    assert apps["MG"][1] == 4
+    assert apps["BT"][1] == 15
+    assert apps["SP"][1] == 16
+    assert apps["IS"][1] == 8
+    # IS's critical object is tiny; FT/botsspar's spans most candidates.
+    assert "KB" in apps["IS"][5] or apps["IS"][5].endswith("B")

@@ -1,0 +1,23 @@
+"""Regenerates Table 4: runtime overhead of persistence."""
+
+from conftest import emit
+
+from repro.harness import experiments
+
+
+def test_table4(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        lambda: experiments.table4_overhead(ctx), rounds=1, iterations=1
+    )
+    emit(report, results_dir)
+    rows = {r[0]: r for r in report.rows}
+    avg = rows["Average"]
+    # Shape: EasyCrash's overhead is small and far below both the
+    # no-selection baseline and the best-recomputability configuration.
+    assert avg[3] < 1.06  # paper: 1.015
+    assert avg[4] > avg[3]  # persist-all costs more than EasyCrash
+    assert avg[5] > avg[3]  # best costs more than EasyCrash
+    # Every app respects the ts=3% bound within modeling slack.
+    for name, row in rows.items():
+        if name != "Average":
+            assert row[3] < 1.08, f"{name} exceeds the overhead bound"

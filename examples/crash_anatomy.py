@@ -1,0 +1,57 @@
+"""Anatomy of a crash: NVCT's postmortem view of one failure.
+
+Crashes the FT spectral kernel at a handful of random points and prints,
+for each crash, where it happened (iteration/region), the data
+inconsistent rate of every candidate object (the paper's Sec. 3 metric),
+and whether the restart recomputed successfully — showing directly why
+*when* and *what* was persisted decides recomputability.
+
+Run:  python examples/crash_anatomy.py
+"""
+
+from repro.apps.registry import get_factory
+from repro.nvct import CampaignConfig, PersistencePlan, run_campaign
+
+N_TESTS = 14
+
+
+def show(result, title: str) -> None:
+    print(f"\n{title}")
+    print(f"{'crash at':>22}  {'region':<8} " +
+          " ".join(f"{n:>8}" for n in sorted(result.records[0].rates)) +
+          "   outcome")
+    for rec in result.records:
+        rates = " ".join(f"{rec.rates[n]:>8.2f}" for n in sorted(rec.rates))
+        print(f"  iter {rec.iteration:>3} @ {rec.counter:>10}  {rec.region:<8} "
+              f"{rates}   {rec.response.name} ({rec.response.value})")
+    print(f"  recomputability: {result.recomputability():.0%}")
+
+
+def main() -> None:
+    factory = get_factory("FT")
+    print("Benchmark: NPB-style FT (cumulative spectral evolution + checksums)")
+    print("Inconsistent rate = fraction of an object's bytes whose NVM copy")
+    print("differs from the architectural state at the crash.")
+
+    baseline = run_campaign(
+        factory, CampaignConfig(n_tests=N_TESTS, seed=5, plan=PersistencePlan.none())
+    )
+    show(baseline, "Without persistence:")
+
+    protected = run_campaign(
+        factory,
+        CampaignConfig(
+            n_tests=N_TESTS, seed=5,
+            plan=PersistencePlan.at_loop_end(["w", "sums"]),
+        ),
+    )
+    show(protected, "Persisting w and the checksum history at iteration ends:")
+
+    print("\nNote the pattern: crashes inside the evolve region (R1) stay fatal —")
+    print("the cumulative multiply is replayed on partially persisted data —")
+    print("while crashes elsewhere become exact replays. This is the paper's")
+    print("Observation 3: where you persist (and where you crash) matters.")
+
+
+if __name__ == "__main__":
+    main()

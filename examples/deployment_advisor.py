@@ -1,0 +1,57 @@
+"""Should this machine enable EasyCrash for this application? (Sec. 8)
+
+The paper's operator checklist: from the system MTBF, checkpoint cost
+and the acceptable performance loss ts, derive the recomputability
+threshold τ; plan EasyCrash for the application; measure its
+recomputability; enable EasyCrash only when it clears τ.  This example
+runs the full procedure for two applications on two machine profiles.
+
+Run:  python examples/deployment_advisor.py
+"""
+
+from repro.apps.registry import get_factory
+from repro.core.advisor import DeploymentScenario, advise
+from repro.core.planner import EasyCrashConfig
+from repro.system.mtbf import HOUR
+from repro.util.tables import render_table
+
+PLANNER = EasyCrashConfig(n_tests=150, seed=11, refinement_tests=80)
+
+SCENARIOS = {
+    "NVMe checkpoints (T_chk=32s)": DeploymentScenario(12 * HOUR, 32.0, ts=0.03),
+    "HDD checkpoints (T_chk=3200s)": DeploymentScenario(12 * HOUR, 3200.0, ts=0.03),
+}
+
+APPS = ("kmeans", "EP")
+
+
+def main() -> None:
+    rows = []
+    for app_name in APPS:
+        factory = get_factory(app_name)
+        for label, scenario in SCENARIOS.items():
+            report = advise(factory, scenario, PLANNER, validation_tests=100)
+            rows.append(
+                [
+                    app_name,
+                    label,
+                    f"{report.tau:.2f}",
+                    f"{report.measured_recomputability:.2f}",
+                    "EasyCrash" if report.use_easycrash else "plain C/R",
+                    f"{report.efficiency_without:.3f}",
+                    f"{report.efficiency_with:.3f}",
+                ]
+            )
+    print(render_table(
+        ["App", "Machine", "tau", "Measured R", "Decision", "Eff. C/R", "Eff. chosen"],
+        rows,
+        title="EasyCrash deployment decisions (MTBF 12h)",
+    ))
+    print("\nReading: kmeans clears tau easily and gains efficiency — most on")
+    print("the slow-checkpoint machine; EP can never clear tau (its RNG")
+    print("stream is unrecoverable stack state), so the advisor keeps plain")
+    print("C/R, exactly the paper's Sec. 8 guidance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""NVM wear study: where do the writes land? (extension)
+
+NVM endurance is the paper's second motivation for minimizing writes
+(PCM-class cells endure ~1e8 writes).  This example compares the
+per-block wear pattern of a plain run, an EasyCrash-protected run and a
+checkpointed run of MG, and estimates relative device lifetimes with and
+without ideal wear leveling.
+
+Run:  python examples/endurance_study.py
+"""
+
+import numpy as np
+
+from repro.apps.registry import get_factory
+from repro.checkpoint.cr import simulate_checkpoint
+from repro.nvct import PersistencePlan, Runtime
+from repro.perf.endurance import analyze_wear
+from repro.util.tables import render_table
+
+
+def tracked_run(factory, plan, checkpoint=False):
+    rt = Runtime(plan=plan)
+    rt.track_write_counts = True
+    app = factory.make(runtime=rt)
+    with np.errstate(all="ignore"):
+        app.run()
+    if checkpoint:
+        simulate_checkpoint(rt, [o.name for o in app.ws.heap.candidates()])
+    rt.hierarchy.writeback_all()
+    return analyze_wear(rt.heap)
+
+
+def main() -> None:
+    factory = get_factory("kmeans")
+    variants = {
+        "plain run": (PersistencePlan.none(persist_iterator=False), False),
+        "EasyCrash (flush centroids)": (
+            PersistencePlan.at_loop_end(["centroids", "inertia"]),
+            False,
+        ),
+        "C/R (one checkpoint)": (PersistencePlan.none(persist_iterator=False), True),
+    }
+    rows = []
+    for label, (plan, chk) in variants.items():
+        prof = tracked_run(factory, plan, checkpoint=chk)
+        rows.append(
+            [
+                label,
+                prof.total_writes,
+                prof.max_block_writes,
+                f"{prof.hotspot_ratio:.1f}x",
+                f"{prof.gini:.2f}",
+                f"{prof.leveling_gain():.1f}x",
+            ]
+        )
+    print(render_table(
+        ["Variant", "NVM writes", "Hottest block", "Hotspot ratio", "Wear Gini",
+         "Ideal-leveling gain"],
+        rows,
+        title="kmeans: NVM wear profile by persistence strategy",
+    ))
+    print("\nReading: flushing the tiny critical state every iteration puts")
+    print("all the extra wear on a handful of lines (high hotspot ratio) —")
+    print("exactly the pattern Start-Gap-style wear leveling (Qureshi et")
+    print("al., cited by the paper) spreads out; bulk C/R copies distribute")
+    print("their (much larger) write volume uniformly instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Multi-threaded crash testing (extension).
+
+Runs the data-parallel kmeans on the MESI-lite multi-core model: each
+simulated core streams its shard of the points through a private L1 over
+a shared LLC.  A crash loses *every* core's unflushed dirty lines; the
+campaign shows the paper's Sec. 4.1 observation that multi-threaded runs
+reach the same conclusions as single-threaded ones.
+
+Run:  python examples/multicore_crash.py
+"""
+
+from repro.apps.base import AppFactory
+from repro.apps.parallel_kmeans import ParallelKMeans
+from repro.nvct import CampaignConfig, PersistencePlan, run_campaign
+
+N_TESTS = 30
+
+
+def main() -> None:
+    factory = AppFactory(ParallelKMeans, n_points=8192, n_features=8, k=12, seed=2020)
+    plans = {
+        "no persistence": PersistencePlan.none(),
+        "critical objects flushed": PersistencePlan.at_loop_end(
+            ["centroids", "inertia", "assign"]
+        ),
+    }
+    print("Data-parallel kmeans under crash tests (MESI-lite coherence)\n")
+    print(f"{'configuration':<42s} recomputability")
+    for cores in (1, 2, 4):
+        for label, plan in plans.items():
+            cfg = CampaignConfig(n_tests=N_TESTS, seed=7, plan=plan, n_cores=cores)
+            result = run_campaign(factory, cfg)
+            print(f"  {cores} core(s), {label:<32s} {result.recomputability():>6.0%}")
+    print("\nSame conclusion at every core count: the tiny critical state")
+    print("(centroids) decides recomputability — paper Sec. 4.1: 'the")
+    print("conclusions we draw from multiple threads are the same'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: crash an HPC kernel on NVM and watch it recompute.
+
+Runs the MG multigrid solver under NVCT (the crash tester), injects
+random crashes, restarts each time from the data objects remaining in
+NVM, and reports the paper's four response classes — first without any
+persistence, then with EasyCrash-style flushing of the critical object.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.base import AppFactory
+from repro.apps.mg import MG
+from repro.nvct import CampaignConfig, PersistencePlan, run_campaign
+
+N_TESTS = 40
+
+
+def describe(label: str, result) -> None:
+    fr = result.response_fractions()
+    print(f"\n{label}")
+    print(f"  recomputability (S1 rate): {result.recomputability():.0%}")
+    for resp, frac in fr.items():
+        print(f"  {resp.name} ({resp.value}): {frac:.0%}")
+
+
+def main() -> None:
+    factory = AppFactory(MG, n=33, nit=20, seed=2020, verify_rtol=1e-6)
+    print("Benchmark: NPB-style MG, 33^3 grid, 20 V-cycles")
+    print(f"Crash tests per campaign: {N_TESTS} (uniform over main-loop accesses)")
+
+    baseline = run_campaign(
+        factory, CampaignConfig(n_tests=N_TESTS, seed=1, plan=PersistencePlan.none())
+    )
+    describe("Without EasyCrash (only the loop iterator persisted):", baseline)
+
+    protected = run_campaign(
+        factory,
+        CampaignConfig(n_tests=N_TESTS, seed=1, plan=PersistencePlan.at_loop_end(["u"])),
+    )
+    describe("Persisting the solution field u at every iteration end:", protected)
+
+    gained = protected.recomputability() - baseline.recomputability()
+    print(f"\nEasyCrash-style selective persistence transformed "
+          f"{gained:.0%} of crashes into successful recomputation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""EasyCrash reproduction.
+
+A from-scratch Python implementation of *EasyCrash: Exploring
+Non-Volatility of Non-Volatile Memory for High Performance Computing
+Under Failures* (Ren, Wu, Li — IEEE CLUSTER 2020): the NVCT crash tester
+(value-aware cache/NVM simulation), eleven instrumented HPC
+mini-applications, the EasyCrash selective-persistence planner, the
+performance and write-endurance models, the C/R baseline, and the
+Sec. 7 system-efficiency emulator.
+
+Typical entry points::
+
+    from repro.apps.registry import get_factory
+    from repro.core import EasyCrashConfig, plan_easycrash
+    from repro.nvct import CampaignConfig, run_campaign
+
+See README.md for a tour, DESIGN.md for the architecture, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,15 @@
+"""HPC mini-application substrate.
+
+Pure-NumPy reimplementations of the paper's 11 benchmarks (NPB CG, MG,
+FT, IS, BT, LU, SP, EP; SPEC-OMP botsspar; LULESH; Rodinia kmeans) with
+the same iterative structure, the paper's per-benchmark number of
+first-level code regions (Table 1), genuine numerics, application-level
+acceptance verification, and restart support.  All accesses to persistent
+data objects flow through :mod:`repro.nvct.managed` so NVCT can observe
+them at cache-block granularity.
+"""
+
+from repro.apps.base import AppFactory, Application, RunResult
+from repro.apps.registry import all_factories, get_factory
+
+__all__ = ["AppFactory", "Application", "RunResult", "all_factories", "get_factory"]

@@ -1,0 +1,184 @@
+"""CG: sparse eigenvalue estimation by inverse power iteration (NPB CG).
+
+Like NPB CG, the main loop is an *outer* power iteration: each iteration
+solves ``A z = x`` with a fixed number of inner conjugate-gradient steps,
+normalizes ``x = z/||z||`` and updates the eigenvalue estimate
+``zeta = shift + 1/(x·z)``.  The loop terminates when ``zeta`` stabilizes
+(convergence-driven, so restarts may need *extra* iterations — the
+response the paper observes for CG, Table 1: 9.1 extra iterations).
+
+Six first-level code regions (Table 1):
+
+* ``R1`` — solver setup: z = 0, r = p = x (writes z);
+* ``R2`` — the inner CG loop (matrix-vector products against the CSR
+  matrix; updates z; inner vectors are plain temporaries recomputed on
+  restart);
+* ``R3`` — true-residual norm ||x - A z||;
+* ``R4`` — normalization x = z/||z|| (the destructive update of x);
+* ``R5`` — eigenvalue update and convergence test;
+* ``R6`` — solution monitoring (reads x).
+
+Candidates: ``x``, ``z`` and the zeta scalar; the CSR matrix (the bulk of
+the footprint, as in the paper where CG's candidates are 5.7 MB of a
+947 MB footprint) is read-only.  Inconsistent ``x`` perturbs the power
+iteration, which re-converges to the same eigenpair at the cost of extra
+iterations: S2-heavy behaviour without EasyCrash.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse
+
+from repro.apps.base import Application
+from repro.util.rng import derive_rng
+
+__all__ = ["CG"]
+
+
+def _poisson2d_shifted(n: int, shift: float) -> scipy.sparse.csr_matrix:
+    """(-∇² + shift·I) on an n×n grid, 5-point stencil, CSR."""
+    main = np.full(n * n, 4.0 + shift)
+    side = np.full(n * n - 1, -1.0)
+    side[np.arange(1, n * n) % n == 0] = 0.0
+    updown = np.full(n * n - n, -1.0)
+    a = scipy.sparse.diags(
+        [main, side, side, updown, updown], [0, 1, -1, n, -n], format="csr"
+    )
+    a.sort_indices()
+    return a
+
+
+class CG(Application):
+    NAME = "CG"
+    REGIONS = ("R1", "R2", "R3", "R4", "R5", "R6")
+    DEFAULT_MAX_FACTOR = 2.0  # convergence-driven: extra iterations allowed
+
+    def __init__(
+        self,
+        runtime=None,
+        n: int = 96,
+        inner_steps: int = 15,
+        shift: float = 0.05,
+        conv_tol: float = 1e-11,
+        max_outer: int = 160,
+        seed: int = 2020,
+        **kw,
+    ):
+        super().__init__(
+            runtime,
+            n=n,
+            inner_steps=inner_steps,
+            shift=shift,
+            conv_tol=conv_tol,
+            max_outer=max_outer,
+            seed=seed,
+            **kw,
+        )
+        self.n = n
+        self.inner_steps = inner_steps
+        self.shift = shift
+        self.conv_tol = conv_tol
+        self.max_outer = max_outer
+        self.seed = seed
+        self.verify_rtol = float(kw.get("verify_rtol", 1e-8))
+
+    def nominal_iterations(self) -> int:
+        return self.max_outer
+
+    # -- setup ---------------------------------------------------------------
+
+    def _allocate(self) -> None:
+        nn = self.n * self.n
+        a = _poisson2d_shifted(self.n, self.shift)
+        self.a_data = self.ws.array("A.data", a.data.shape, np.float64, candidate=False, readonly=True)
+        self.a_indices = self.ws.array("A.indices", a.indices.shape, np.int32, candidate=False, readonly=True)
+        self.a_indptr = self.ws.array("A.indptr", a.indptr.shape, np.int32, candidate=False, readonly=True)
+        self._a_template = a
+        self.x = self.ws.array("x", (nn,), candidate=True)
+        self.z = self.ws.array("z", (nn,), candidate=True)
+        self.zeta = self.ws.scalar("zeta", 0.0, np.float64, candidate=True)
+        self.zeta_prev = self.ws.scalar("zeta_prev", 0.0, np.float64, candidate=True)
+
+    def _initialize(self) -> None:
+        a = self._a_template
+        self.a_data.np[...] = a.data
+        self.a_indices.np[...] = a.indices
+        self.a_indptr.np[...] = a.indptr
+        # Shared-buffer CSR view over the managed arrays (no copy).
+        self._A = scipy.sparse.csr_matrix(
+            (self.a_data.np, self.a_indices.np, self.a_indptr.np),
+            shape=a.shape,
+        )
+        rng = derive_rng(self.seed, "cg-x0")
+        x0 = rng.random(self.n * self.n)
+        self.x.np[...] = x0 / np.linalg.norm(x0)
+        self.z.np[...] = 0.0
+        self.zeta.arr.np[0] = 0.0
+        self.zeta_prev.arr.np[0] = np.inf
+
+    def _post_restore(self) -> None:
+        pass  # the CSR matrix shares buffers with the managed arrays
+
+    # -- main loop --------------------------------------------------------------
+
+    def _read_matrix(self) -> None:
+        """Record one streaming pass over the CSR arrays."""
+        self.a_data.read()
+        self.a_indices.read()
+        self.a_indptr.read()
+
+    def _iterate(self, it: int) -> bool:
+        ws = self.ws
+        A = self._A
+        with ws.region("R1"):
+            x = self.x.read().copy()
+            self.z.write(slice(None), 0.0)
+            r = x.copy()
+            p = r.copy()
+            rho = float(r @ r)
+        with ws.region("R2"):
+            z_acc = np.zeros_like(x)
+            for _ in range(self.inner_steps):
+                self._read_matrix()
+                q = A @ p
+                alpha = rho / float(p @ q)
+                z_acc += alpha * p
+                r -= alpha * q
+                rho_new = float(r @ r)
+                beta = rho_new / rho
+                rho = rho_new
+                p = r + beta * p
+            self.z.write(slice(None), z_acc)
+        with ws.region("R3"):
+            self._read_matrix()
+            z = self.z.read()
+            rnorm = float(np.linalg.norm(self.x.read() - A @ z))
+        with ws.region("R4"):
+            z = self.z.read()
+            znorm = float(np.linalg.norm(z))
+            self.x.write(slice(None), z / znorm)
+        with ws.region("R5"):
+            x = self.x.read()
+            z = self.z.read()
+            zeta = self.shift + 1.0 / float(x @ z)
+            prev = float(self.zeta.peek())
+            self.zeta_prev.set(prev)
+            self.zeta.set(zeta)
+            converged = it > 2 and abs(zeta - prev) <= self.conv_tol * abs(zeta)
+        with ws.region("R6"):
+            self.x.read()
+            _ = rnorm  # monitoring only
+        return converged
+
+    # -- verification --------------------------------------------------------------
+
+    def reference_outcome(self) -> dict[str, float]:
+        return {"zeta": float(self.zeta.arr.np[0])}
+
+    def verify(self) -> bool:
+        if self.golden is None:
+            return True
+        ref = self.golden["zeta"]
+        zeta = float(self.zeta.arr.np[0])
+        return abs(zeta - ref) <= self.verify_rtol * abs(ref)

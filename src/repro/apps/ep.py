@@ -1,0 +1,124 @@
+"""EP: embarrassingly parallel Monte Carlo Gaussian-pair counting (NPB EP).
+
+Each iteration draws a batch of uniform pairs from a *sequential* linear
+congruential generator, applies the Box-Muller acceptance test, and
+accumulates the sums ``sx``, ``sy`` and the annulus counts ``q[0..9]``
+(the paper's 80-byte candidate set).
+
+The LCG state is a local (stack-like) variable advanced across batches.
+The paper's scope persists only heap/global data objects — stack state is
+lost at a crash, and this EP (like the paper's) has no jump-ahead, so a
+restart cannot reconstruct the stream position.  The replayed batches
+draw the wrong numbers, the exact-match verification fails, and EP's
+recomputability is 0 with or without EasyCrash — which is why the paper
+excludes EP from the EasyCrash evaluation.
+
+Regions (Table 1 lists 2): ``R1`` generation, ``R2`` accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application
+
+__all__ = ["EP"]
+
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_MASK = (1 << 64) - 1
+
+
+class EP(Application):
+    NAME = "EP"
+    REGIONS = ("R1", "R2")
+    DEFAULT_MAX_FACTOR = 1.0
+
+    def __init__(
+        self, runtime=None, batches: int = 256, batch_size: int = 4096, seed: int = 2020, **kw
+    ):
+        super().__init__(runtime, batches=batches, batch_size=batch_size, seed=seed, **kw)
+        self.batches = batches
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def nominal_iterations(self) -> int:
+        return self.batches
+
+    def _allocate(self) -> None:
+        self.q = self.ws.array("q", (10,), np.float64, candidate=True)
+        self.sx = self.ws.scalar("sx", 0.0, np.float64, candidate=True)
+        self.sy = self.ws.scalar("sy", 0.0, np.float64, candidate=True)
+        # Scratch pair buffer: heap object, but temporary (not a candidate).
+        self.pairs = self.ws.array("pairs", (self.batch_size, 2), candidate=False, readonly=False)
+
+    def _initialize(self) -> None:
+        self.q.np[...] = 0.0
+        self.sx.arr.np[0] = 0.0
+        self.sy.arr.np[0] = 0.0
+        self.pairs.np[...] = 0.0
+        # Sequential generator state: a plain Python attribute — the
+        # "stack" state the paper's failure model does not persist.
+        self._lcg_state = self.seed & _MASK
+        # Per-batch LCG trajectory coefficients: s_i = A^i s_0 + C_i, so a
+        # whole batch vectorizes (modulo-2^64 via uint64 wraparound).
+        count = 2 * self.batch_size
+        apow = np.empty(count, dtype=np.uint64)
+        cpre = np.empty(count, dtype=np.uint64)
+        a, c = 1, 0
+        for i in range(count):
+            a = (a * _LCG_A) & _MASK
+            c = (c * _LCG_A + _LCG_C) & _MASK
+            apow[i] = a
+            cpre[i] = c
+        self._apow = apow
+        self._cpre = cpre
+
+    def _lcg_batch(self, count: int) -> np.ndarray:
+        """Draw ``count`` uniforms in [0,1) advancing the sequential state."""
+        assert count == self._apow.size
+        with np.errstate(over="ignore"):
+            states = self._apow * np.uint64(self._lcg_state) + self._cpre
+        self._lcg_state = int(states[-1])
+        return states / float(1 << 64)
+
+    def _iterate(self, it: int) -> bool:
+        ws = self.ws
+        with ws.region("R1"):
+            u = self._lcg_batch(2 * self.batch_size)
+            xy = 2.0 * u.reshape(self.batch_size, 2) - 1.0
+            self.pairs.write(slice(None), xy)
+        with ws.region("R2"):
+            xy = self.pairs.read()
+            t = xy[:, 0] ** 2 + xy[:, 1] ** 2
+            acc = (t <= 1.0) & (t > 0.0)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                f = np.sqrt(-2.0 * np.log(t) / t)
+            gx = xy[acc, 0] * f[acc]
+            gy = xy[acc, 1] * f[acc]
+            m = np.maximum(np.abs(gx), np.abs(gy))
+            counts = np.bincount(np.minimum(m, 9.999).astype(int), minlength=10)[:10]
+            self.q.update(slice(None), lambda q: np.add(q, counts, out=q))
+            self.sx.set(float(self.sx.peek()) + float(gx.sum()))
+            self.sy.set(float(self.sy.peek()) + float(gy.sum()))
+        return False
+
+    def reference_outcome(self) -> dict[str, float]:
+        out = {f"q{i}": float(self.q.np[i]) for i in range(10)}
+        out["sx"] = float(self.sx.arr.np[0])
+        out["sy"] = float(self.sy.arr.np[0])
+        return out
+
+    def verify(self) -> bool:
+        if self.golden is None:
+            return True
+        out = self.reference_outcome()
+        # NPB EP verification is exact: counts must match and the Gaussian
+        # sums must agree to full precision.
+        for i in range(10):
+            if out[f"q{i}"] != self.golden[f"q{i}"]:
+                return False
+        return (
+            abs(out["sx"] - self.golden["sx"]) <= 1e-12 * max(1.0, abs(self.golden["sx"]))
+            and abs(out["sy"] - self.golden["sy"]) <= 1e-12 * max(1.0, abs(self.golden["sy"]))
+        )

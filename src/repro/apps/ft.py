@@ -1,0 +1,110 @@
+"""FT: spectral PDE evolution with per-iteration checksums (NPB FT).
+
+Solves a 3D diffusion-like PDE in spectral space.  The evolved spectrum
+``w`` is multiplied *cumulatively* by per-mode phase/decay factors each
+iteration (``w *= twiddle``), an inverse FFT materializes the solution,
+and a checksum over a fixed index set is recorded per iteration; the
+final acceptance verification compares *every* iteration's checksum
+against the reference, NPB-style.
+
+Cumulative multiplicative evolution is not a fixed point: any block of
+``w`` whose NVM copy is stale (old value) or ahead (written back mid-
+iteration and then re-multiplied on replay) corrupts the checksum
+trajectory irrecoverably.  The checksum history itself is tiny and
+cache-hot, so without flushing it is lost at a crash.  This combination
+gives FT a near-zero intrinsic recomputability and the *lowest*
+EasyCrash recomputability of the tolerant apps (crashes inside the
+evolve region remain fatal), matching the paper.
+
+Regions (Table 1 lists 4): ``R1`` evolve (destructive), ``R2`` inverse
+FFT into the output buffer, ``R3`` checksum, ``R4`` partial verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.util.rng import derive_rng
+
+__all__ = ["FT"]
+
+
+class FT(Application):
+    NAME = "FT"
+    REGIONS = ("R1", "R2", "R3", "R4")
+    DEFAULT_MAX_FACTOR = 1.0  # fixed iteration count
+
+    def __init__(self, runtime=None, n: int = 32, nit: int = 20, seed: int = 2020, **kw):
+        super().__init__(runtime, n=n, nit=nit, seed=seed, **kw)
+        self.n = n
+        self.nit = nit
+        self.seed = seed
+        self.verify_rtol = float(kw.get("verify_rtol", 1e-9))
+
+    def nominal_iterations(self) -> int:
+        return self.nit
+
+    def _allocate(self) -> None:
+        shape = (self.n, self.n, self.n)
+        self.w = self.ws.array("w", shape, np.complex128, candidate=True)
+        self.twiddle = self.ws.array("twiddle", shape, np.complex128, candidate=False, readonly=True)
+        self.xout = self.ws.array("xout", shape, np.complex128, candidate=True)
+        self.sums = self.ws.array("sums", (self.nit, 2), np.float64, candidate=True)
+
+    def _initialize(self) -> None:
+        rng = derive_rng(self.seed, "ft-u0")
+        n = self.n
+        u0 = rng.standard_normal((n, n, n)) + 1j * rng.standard_normal((n, n, n))
+        self.w.np[...] = u0
+        k = np.fft.fftfreq(n) * n
+        kx, ky, kz = np.meshgrid(k, k, k, indexing="ij")
+        k2 = kx**2 + ky**2 + kz**2
+        alpha = 1e-6
+        # Mild decay plus rotation: |twiddle| <= 1, so the trajectory stays
+        # bounded over nit cumulative applications.
+        self.twiddle.np[...] = np.exp(-4.0 * np.pi**2 * alpha * k2) * np.exp(
+            1j * 2.0 * np.pi * k2 / (n * n * 8.0)
+        )
+        self.xout.np[...] = 0.0
+        self.sums.np[...] = 0.0
+        # Fixed checksum gather indices, NPB-style.
+        self._cs_idx = (np.arange(1, 1025) * 31) % (n * n * n)
+
+    def _iterate(self, it: int) -> bool:
+        ws = self.ws
+        with ws.region("R1"):
+            tw = self.twiddle.read()
+            self.w.update(slice(None), lambda v: np.multiply(v, tw, out=v))
+        with ws.region("R2"):
+            w = self.w.read()
+            self.xout.write(slice(None), np.fft.ifftn(w))
+        with ws.region("R3"):
+            vals = self.xout.read_at(self._cs_idx)
+            chk = vals.sum() / vals.size
+            self.sums.write((it, slice(None)), np.array([chk.real, chk.imag]))
+        with ws.region("R4"):
+            # Partial verification pass: re-read the recorded checksums so
+            # far (read traffic; mirrors NPB's per-iteration print/check).
+            self.sums.read((slice(0, it + 1), slice(None)))
+            self.xout.read()
+        return False
+
+    def reference_outcome(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for i in range(self.nit):
+            out[f"re{i}"] = float(self.sums.np[i, 0])
+            out[f"im{i}"] = float(self.sums.np[i, 1])
+        return out
+
+    def verify(self) -> bool:
+        if self.golden is None:
+            return True
+        scale = max(abs(v) for v in self.golden.values())
+        for i in range(self.nit):
+            if (
+                abs(self.sums.np[i, 0] - self.golden[f"re{i}"]) > self.verify_rtol * scale
+                or abs(self.sums.np[i, 1] - self.golden[f"im{i}"]) > self.verify_rtol * scale
+            ):
+                return False
+        return True

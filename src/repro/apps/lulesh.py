@@ -1,0 +1,135 @@
+"""LULESH: 1D Lagrangian shock hydrodynamics (Sedov blast analogue).
+
+A staggered-grid Lagrangian hydro code: node positions/velocities and
+cell energies/masses evolve through a leapfrog step with an ideal-gas
+EOS and artificial viscosity, driven by an initial energy deposition at
+the origin (the Sedov problem LULESH models).  Hydrodynamics is
+hyperbolic — perturbations advect rather than decay — so, unlike the
+iterative solvers, a restart only verifies when the restored state is an
+exact step boundary.
+
+Regions (Table 1 lists 4 for LULESH): ``force`` (pressure + viscosity +
+nodal forces; read-heavy, writes only the scratch force array), ``motion``
+(velocity/position update — destructive), ``energy`` (volume work + EOS —
+destructive), ``dtcourant`` (time-step control and monitoring).
+
+Candidates: positions ``x``, velocities ``v``, energies ``e`` and the
+time scalar; cell masses are read-only.  Verification compares the final
+origin energy and total energy against the golden run, NPB-style.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.util.rng import derive_rng
+
+__all__ = ["LULESH"]
+
+
+class LULESH(Application):
+    NAME = "LULESH"
+    REGIONS = ("force", "motion", "energy", "dtcourant")
+    DEFAULT_MAX_FACTOR = 1.0
+
+    def __init__(self, runtime=None, n_cells: int = 16384, nit: int = 200, seed: int = 2020, **kw):
+        super().__init__(runtime, n_cells=n_cells, nit=nit, seed=seed, **kw)
+        self.n_cells = n_cells
+        self.nit = nit
+        self.seed = seed
+        self.gamma = 1.4
+        self.verify_rtol = float(kw.get("verify_rtol", 1e-9))
+
+    def nominal_iterations(self) -> int:
+        return self.nit
+
+    def _allocate(self) -> None:
+        nc = self.n_cells
+        self.x = self.ws.array("x", (nc + 1,), candidate=True)
+        self.v = self.ws.array("v", (nc + 1,), candidate=True)
+        self.e = self.ws.array("e", (nc,), candidate=True)
+        self.mass = self.ws.array("mass", (nc,), candidate=False, readonly=True)
+        self.force = self.ws.array("force", (nc + 1,), candidate=True)
+        self.tnow = self.ws.scalar("tnow", 0.0, np.float64, candidate=True)
+
+    def _initialize(self) -> None:
+        nc = self.n_cells
+        self.x.np[...] = np.linspace(0.0, 1.0, nc + 1)
+        self.v.np[...] = 0.0
+        rng = derive_rng(self.seed, "lulesh-rho")
+        rho0 = 1.0 + 0.01 * rng.standard_normal(nc)
+        dx0 = np.diff(self.x.np)
+        self.mass.np[...] = rho0 * dx0
+        e0 = np.full(nc, 1e-6)
+        # Sedov-style energy deposition in the first few cells.
+        e0[: max(2, nc // 2048)] = 1.0
+        self.e.np[...] = e0
+        self.tnow.arr.np[0] = 0.0
+        self._dt = 0.1 / nc  # CFL-safe fixed step for this setup
+
+    def _iterate(self, it: int) -> bool:
+        ws = self.ws
+        dt = self._dt
+        with ws.region("force"):
+            x = self.x.read()
+            v = self.v.read()
+            e = self.e.read()
+            mass = self.mass.read()
+            dx = np.maximum(np.diff(x), 1e-12)
+            rho = mass / dx
+            p = (self.gamma - 1.0) * rho * np.maximum(e, 0.0)
+            # Artificial viscosity on compressing cells.
+            dv = v[1:] - v[:-1]
+            q = np.where(dv < 0.0, 2.0 * rho * dv * dv, 0.0)
+            ptot = p + q
+            f = np.zeros(self.n_cells + 1)
+            f[1:-1] = ptot[:-1] - ptot[1:]
+            f[0] = -ptot[0] * 0.0  # reflecting wall at the origin
+            self.force.write(slice(None), f)
+        with ws.region("motion"):
+            f = self.force.read()
+            mass = self.mass.read()
+            nodal_mass = np.zeros(self.n_cells + 1)
+            nodal_mass[:-1] += 0.5 * mass
+            nodal_mass[1:] += 0.5 * mass
+            self.v.update(slice(None), lambda vv: np.add(vv, dt * f / nodal_mass, out=vv))
+            v_new = self.v.read()
+            self.x.update(slice(None), lambda xx: np.add(xx, dt * v_new, out=xx))
+        with ws.region("energy"):
+            x = self.x.read()
+            v = self.v.read()
+            e = self.e.read()
+            mass = self.mass.read()
+            dx = np.maximum(np.diff(x), 1e-12)
+            rho = mass / dx
+            p = (self.gamma - 1.0) * rho * np.maximum(e, 0.0)
+            dv = v[1:] - v[:-1]
+            q = np.where(dv < 0.0, 2.0 * rho * dv * dv, 0.0)
+            work = (p + q) * dv * dt / mass
+            self.e.update(slice(None), lambda ee: np.subtract(ee, work, out=ee))
+        with ws.region("dtcourant"):
+            e = self.e.read()
+            v = self.v.read()
+            self.tnow.set(float(self.tnow.peek()) + dt)
+            _ = float(np.abs(v).max()) + float(e.max())  # courant monitor
+        return False
+
+    def reference_outcome(self) -> dict[str, float]:
+        ke = 0.5 * float(((self.v.np[:-1] + self.v.np[1:]) * 0.5) ** 2 @ self.mass.np)
+        ie = float(self.e.np @ self.mass.np)
+        return {
+            "origin_energy": float(self.e.np[0]),
+            "total_energy": ke + ie,
+            "shock_front": float(np.argmax(self.e.np[10:] > 1e-4) if np.any(self.e.np[10:] > 1e-4) else 0),
+        }
+
+    def verify(self) -> bool:
+        if self.golden is None:
+            return True
+        out = self.reference_outcome()
+        for key in ("origin_energy", "total_energy"):
+            ref = self.golden[key]
+            if abs(out[key] - ref) > self.verify_rtol * max(abs(ref), 1e-30):
+                return False
+        return True

@@ -1,0 +1,186 @@
+"""MG: 3D multigrid V-cycle Poisson solver (NPB MG analogue).
+
+Solves -∇²u = v on the unit cube (zero Dirichlet boundary) with V(1,1)
+cycles.  Structure mirrors the paper's running example (Fig. 2): a main
+computation loop of ``nit`` V-cycles, four first-level code regions
+(Table 1 lists 4 for MG):
+
+* ``R1`` — residual: r = v - Au (overwrites r);
+* ``R2`` — restriction + coarse-grid recursion (reads r, plain
+  temporaries; the coarse hierarchy is derived state, recomputed each
+  cycle and on restart);
+* ``R3`` — prolongation, correction (u += e) and post-smoothing: *all*
+  destructive updates of u.  Persisting u right after R3 yields the
+  largest recomputability gain, mirroring the paper's Fig. 4b;
+* ``R4`` — solution monitoring: recomputes the residual norm of the
+  updated u (read-heavy, writes only a small monitor record).
+
+Candidates: ``u`` and ``r``; the RHS ``v`` is read-only.  Because the
+V-cycle is a convergent fixed-point iteration, re-executing an iteration
+from a partially persisted ``u`` still converges — the paper's intrinsic
+fault tolerance — but late crashes leave too few cycles to recover the
+verification threshold, so recomputability is position-sensitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.util.rng import derive_rng
+
+__all__ = ["MG"]
+
+
+def _laplacian(u: np.ndarray, h2: float) -> np.ndarray:
+    """7-point -∇² with zero Dirichlet boundary (interior only)."""
+    out = np.zeros_like(u)
+    out[1:-1, 1:-1, 1:-1] = (
+        6.0 * u[1:-1, 1:-1, 1:-1]
+        - u[2:, 1:-1, 1:-1]
+        - u[:-2, 1:-1, 1:-1]
+        - u[1:-1, 2:, 1:-1]
+        - u[1:-1, :-2, 1:-1]
+        - u[1:-1, 1:-1, 2:]
+        - u[1:-1, 1:-1, :-2]
+    ) / h2
+    return out
+
+
+def _jacobi(u: np.ndarray, f: np.ndarray, h2: float, sweeps: int, omega: float = 0.8) -> np.ndarray:
+    """Weighted-Jacobi relaxation; returns the updated array (new object)."""
+    for _ in range(sweeps):
+        r = f - _laplacian(u, h2)
+        u = u + omega * (h2 / 6.0) * r
+        u[0, :, :] = u[-1, :, :] = 0.0
+        u[:, 0, :] = u[:, -1, :] = 0.0
+        u[:, :, 0] = u[:, :, -1] = 0.0
+    return u
+
+
+def _smooth_axis(a: np.ndarray, axis: int) -> np.ndarray:
+    """1-D [1/4, 1/2, 1/4] filter along one axis (zero beyond boundary)."""
+    out = 0.5 * a
+    sl_lo = [slice(None)] * 3
+    sl_hi = [slice(None)] * 3
+    sl_in = [slice(None)] * 3
+    sl_lo[axis] = slice(0, -1)
+    sl_hi[axis] = slice(1, None)
+    out[tuple(sl_lo)] += 0.25 * a[tuple(sl_hi)]
+    out[tuple(sl_hi)] += 0.25 * a[tuple(sl_lo)]
+    del sl_in
+    return out
+
+
+def _restrict(r: np.ndarray) -> np.ndarray:
+    """Full-weighting (27-point, separable) restriction to the coarser grid."""
+    w = _smooth_axis(_smooth_axis(_smooth_axis(r, 0), 1), 2)
+    rc = w[::2, ::2, ::2].copy()
+    rc[0, :, :] = rc[-1, :, :] = 0.0
+    rc[:, 0, :] = rc[:, -1, :] = 0.0
+    rc[:, :, 0] = rc[:, :, -1] = 0.0
+    return rc
+
+
+def _prolong(e: np.ndarray, n_fine: int) -> np.ndarray:
+    """Trilinear interpolation to the next finer grid."""
+    ef = np.zeros((n_fine, n_fine, n_fine))
+    ef[::2, ::2, ::2] = e
+    ef[1::2, ::2, ::2] = 0.5 * (e[:-1, :, :] + e[1:, :, :])
+    ef[:, 1::2, ::2] = 0.5 * (ef[:, :-2:2, ::2] + ef[:, 2::2, ::2])
+    ef[:, :, 1::2] = 0.5 * (ef[:, :, :-2:2] + ef[:, :, 2::2])
+    return ef
+
+
+def _vcycle(f: np.ndarray, h: float, pre: int = 2, post: int = 2) -> np.ndarray:
+    """One V-cycle solving -∇²e = f from a zero initial guess; returns e."""
+    n = f.shape[0]
+    h2 = h * h
+    if n <= 5:
+        e = np.zeros_like(f)
+        e = _jacobi(e, f, h2, sweeps=40)
+        return e
+    e = _jacobi(np.zeros_like(f), f, h2, sweeps=pre)
+    r = f - _laplacian(e, h2)
+    rc = _restrict(r)
+    ec = _vcycle(rc, 2.0 * h, pre, post)
+    e = e + _prolong(ec, n)
+    if post:
+        e = _jacobi(e, f, h2, sweeps=post)
+    return e
+
+
+class MG(Application):
+    NAME = "MG"
+    REGIONS = ("R1", "R2", "R3", "R4")
+    DEFAULT_MAX_FACTOR = 1.0  # fixed iteration count
+
+    def __init__(self, runtime=None, n: int = 33, nit: int = 20, seed: int = 2020, **kw):
+        super().__init__(runtime, n=n, nit=nit, seed=seed, **kw)
+        self.n = n
+        self.nit = nit
+        self.seed = seed
+        self.h = 1.0 / (n - 1)
+        # NPB-style acceptance verification: the final residual norm must
+        # match the reference (golden) value within this relative tolerance.
+        self.verify_rtol = float(kw.get("verify_rtol", 1e-6))
+
+    def nominal_iterations(self) -> int:
+        return self.nit
+
+    def _allocate(self) -> None:
+        shape = (self.n, self.n, self.n)
+        self.u = self.ws.array("u", shape, candidate=True)
+        self.r = self.ws.array("r", shape, candidate=True)
+        self.v = self.ws.array("v", shape, candidate=False, readonly=True)
+        self.monitor = self.ws.array("monitor", (self.nit,), candidate=True)
+
+    def _initialize(self) -> None:
+        rng = derive_rng(self.seed, "mg-rhs")
+        v = np.zeros((self.n, self.n, self.n))
+        # Sparse ±1 sources in the interior, like NPB MG's charge setup.
+        k = max(8, self.n // 2)
+        idx = rng.choice((self.n - 2) ** 3, size=2 * k, replace=False)
+        ii, jj, kk = np.unravel_index(idx, ((self.n - 2), (self.n - 2), (self.n - 2)))
+        v[ii[:k] + 1, jj[:k] + 1, kk[:k] + 1] = 1.0
+        v[ii[k:] + 1, jj[k:] + 1, kk[k:] + 1] = -1.0
+        self.v.np[...] = v
+        self.u.np[...] = 0.0
+        self.r.np[...] = 0.0
+        self._vnorm = float(np.linalg.norm(v))
+
+    def _post_restore(self) -> None:
+        # v is read-only (re-initialized); u, r come from NVM.
+        pass
+
+    def _iterate(self, it: int) -> bool:
+        h2 = self.h * self.h
+        ws = self.ws
+        with ws.region("R1"):
+            u = self.u.read()
+            v = self.v.read()
+            self.r.write(slice(None), v - _laplacian(u, h2))
+        with ws.region("R2"):
+            r = self.r.read()
+            e = _vcycle(r.copy(), self.h)
+        with ws.region("R3"):
+            self.u.update(slice(None), lambda x: np.add(x, e, out=x))
+        with ws.region("R4"):
+            u = self.u.read()
+            v = self.v.read()
+            norm = float(np.linalg.norm(v - _laplacian(u, h2)))
+            self.monitor.write(it % self.monitor.size, norm)
+        return False
+
+    def _residual_rel(self) -> float:
+        res = self.v.np - _laplacian(self.u.np, self.h * self.h)
+        return float(np.linalg.norm(res)) / self._vnorm
+
+    def reference_outcome(self) -> dict[str, float]:
+        return {"residual_rel": self._residual_rel()}
+
+    def verify(self) -> bool:
+        if self.golden is None:
+            return True  # golden bootstrap run
+        ref = self.golden["residual_rel"]
+        return abs(self._residual_rel() - ref) <= self.verify_rtol * ref

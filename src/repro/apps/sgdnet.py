@@ -1,0 +1,160 @@
+"""SGDNet: mini-batch SGD training of a two-layer network (extension).
+
+The paper's introduction names machine-learning training (kmeans, CNN
+training) among the workloads with natural error resilience: stochastic
+gradient descent is a noisy fixed-point-seeking iteration, so restarting
+from stale or mixed weights merely perturbs the trajectory toward the
+same loss basin.  This extension app demonstrates that claim inside the
+crash-test framework with a softmax MLP on synthetic blobs.
+
+Regions: ``fwd`` (forward pass, read-heavy), ``grad`` (backpropagation),
+``update`` (the destructive weight update), ``eval`` (epoch loss/accuracy
+monitoring).  Candidates: the weight matrices, biases and the metric
+history; the dataset is read-only.
+
+Verification is fidelity-based, as ML acceptance tests are: the final
+training accuracy must reach the golden run's accuracy minus a small
+slack — not a bitwise trajectory match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.util.rng import derive_rng
+
+__all__ = ["SGDNet"]
+
+
+class SGDNet(Application):
+    NAME = "sgdnet"
+    REGIONS = ("fwd", "grad", "update", "eval")
+    DEFAULT_MAX_FACTOR = 1.0
+
+    def __init__(
+        self,
+        runtime=None,
+        n_samples: int = 4096,
+        n_features: int = 16,
+        n_hidden: int = 32,
+        n_classes: int = 6,
+        epochs: int = 30,
+        batch: int = 512,
+        lr: float = 0.15,
+        seed: int = 2020,
+        **kw,
+    ):
+        super().__init__(
+            runtime,
+            n_samples=n_samples,
+            n_features=n_features,
+            n_hidden=n_hidden,
+            n_classes=n_classes,
+            epochs=epochs,
+            batch=batch,
+            lr=lr,
+            seed=seed,
+            **kw,
+        )
+        self.n_samples = n_samples
+        self.n_features = n_features
+        self.n_hidden = n_hidden
+        self.n_classes = n_classes
+        self.epochs = epochs
+        self.batch = batch
+        self.lr = lr
+        self.seed = seed
+        self.accuracy_slack = float(kw.get("accuracy_slack", 0.02))
+
+    def nominal_iterations(self) -> int:
+        return self.epochs
+
+    def _allocate(self) -> None:
+        f, h, c = self.n_features, self.n_hidden, self.n_classes
+        self.x = self.ws.array("X", (self.n_samples, f), candidate=False, readonly=True)
+        self.labels = self.ws.array("y", (self.n_samples,), np.int32, candidate=False, readonly=True)
+        self.w1 = self.ws.array("W1", (f, h), candidate=True)
+        self.b1 = self.ws.array("b1", (h,), candidate=True)
+        self.w2 = self.ws.array("W2", (h, c), candidate=True)
+        self.b2 = self.ws.array("b2", (c,), candidate=True)
+        self.history = self.ws.array("history", (self.epochs, 2), candidate=True)
+
+    def _initialize(self) -> None:
+        rng = derive_rng(self.seed, "sgdnet-data")
+        centers = rng.normal(scale=2.5, size=(self.n_classes, self.n_features))
+        labels = rng.integers(self.n_classes, size=self.n_samples).astype(np.int32)
+        self.x.np[...] = centers[labels] + rng.normal(scale=1.6, size=(self.n_samples, self.n_features))
+        self.labels.np[...] = labels
+        wrng = derive_rng(self.seed, "sgdnet-init")
+        self.w1.np[...] = 0.3 * wrng.standard_normal((self.n_features, self.n_hidden))
+        self.b1.np[...] = 0.0
+        self.w2.np[...] = 0.3 * wrng.standard_normal((self.n_hidden, self.n_classes))
+        self.b2.np[...] = 0.0
+        self.history.np[...] = 0.0
+
+    # -- network -------------------------------------------------------------
+
+    def _forward(self, xb: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        hidden = np.maximum(xb @ self.w1.np + self.b1.np, 0.0)
+        logits = hidden @ self.w2.np + self.b2.np
+        logits -= logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        probs /= probs.sum(axis=1, keepdims=True)
+        return hidden, probs
+
+    def _iterate(self, it: int) -> bool:
+        ws = self.ws
+        rng = derive_rng(self.seed, "sgdnet-epoch", it)
+        order = rng.permutation(self.n_samples)
+        grads: list[tuple[np.ndarray, ...]] = []
+        with ws.region("fwd"):
+            xb_all = self.x.read()
+            yb_all = self.labels.read()
+            self.w1.read()
+            self.w2.read()
+        with ws.region("grad"):
+            for start in range(0, self.n_samples, self.batch):
+                sel = order[start : start + self.batch]
+                xb = xb_all[sel]
+                yb = yb_all[sel]
+                hidden, probs = self._forward(xb)
+                delta = probs
+                delta[np.arange(sel.size), yb] -= 1.0
+                delta /= sel.size
+                dW2 = hidden.T @ delta
+                db2 = delta.sum(axis=0)
+                dh = (delta @ self.w2.np.T) * (hidden > 0)
+                dW1 = xb.T @ dh
+                db1 = dh.sum(axis=0)
+                grads.append((dW1, db1, dW2, db2))
+        with ws.region("update"):
+            lr = self.lr
+            for dW1, db1, dW2, db2 in grads:
+                self.w1.update(slice(None), lambda w, g=dW1: np.subtract(w, lr * g, out=w))
+                self.b1.update(slice(None), lambda b, g=db1: np.subtract(b, lr * g, out=b))
+                self.w2.update(slice(None), lambda w, g=dW2: np.subtract(w, lr * g, out=w))
+                self.b2.update(slice(None), lambda b, g=db2: np.subtract(b, lr * g, out=b))
+        with ws.region("eval"):
+            _, probs = self._forward(self.x.read())
+            pred = probs.argmax(axis=1)
+            acc = float(np.mean(pred == self.labels.np))
+            loss = float(-np.log(np.maximum(probs[np.arange(self.n_samples), self.labels.np], 1e-12)).mean())
+            self.history.write((it, slice(None)), np.array([loss, acc]))
+        return False
+
+    # -- verification -------------------------------------------------------------
+
+    def reference_outcome(self) -> dict[str, float]:
+        return {
+            "accuracy": float(self.history.np[self.epochs - 1, 1]),
+            "loss": float(self.history.np[self.epochs - 1, 0]),
+        }
+
+    def verify(self) -> bool:
+        if self.golden is None:
+            return True
+        out = self.reference_outcome()
+        # Fidelity threshold: final accuracy within slack of the golden
+        # run (ML acceptance is statistical, not bitwise).
+        return out["accuracy"] >= self.golden["accuracy"] - self.accuracy_slack

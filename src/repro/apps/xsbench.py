@@ -1,0 +1,133 @@
+"""XSBench-style Monte Carlo cross-section lookup (extension).
+
+The paper cites XSBench (Tramm et al.) as a Monte Carlo workload with
+intrinsic fault tolerance.  This extension app reproduces its shape: per
+iteration, a batch of particle histories samples energies and materials,
+binary-searches a unionized energy grid, gathers per-nuclide cross
+sections from a large read-only table, and accumulates macroscopic-XS
+tallies.
+
+The instructive contrast with EP: XSBench-style codes seed each batch
+independently (embarrassingly parallel lookups), so a restarted
+iteration replays *exactly* — the tally accumulators are recoverable by
+flushing, and EasyCrash helps, whereas EP's sequential RNG stream is
+stack state the failure model cannot restore.  Application structure,
+not "Monte Carlo-ness", decides recomputability.
+
+Regions: ``sample`` (energy/material sampling), ``lookup`` (grid search
+and gather — scattered reads over the table), ``tally`` (accumulation).
+Candidates: the tally vector and lookup-count scalar; the energy grid
+and cross-section table are read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.util.rng import derive_rng
+
+__all__ = ["XSBench"]
+
+
+class XSBench(Application):
+    NAME = "xsbench"
+    REGIONS = ("sample", "lookup", "tally")
+    DEFAULT_MAX_FACTOR = 1.0
+
+    def __init__(
+        self,
+        runtime=None,
+        n_grid: int = 4096,
+        n_nuclides: int = 32,
+        n_materials: int = 8,
+        batch: int = 8192,
+        nit: int = 40,
+        seed: int = 2020,
+        **kw,
+    ):
+        super().__init__(
+            runtime,
+            n_grid=n_grid,
+            n_nuclides=n_nuclides,
+            n_materials=n_materials,
+            batch=batch,
+            nit=nit,
+            seed=seed,
+            **kw,
+        )
+        self.n_grid = n_grid
+        self.n_nuclides = n_nuclides
+        self.n_materials = n_materials
+        self.batch = batch
+        self.nit = nit
+        self.seed = seed
+        self.verify_rtol = float(kw.get("verify_rtol", 1e-12))
+
+    def nominal_iterations(self) -> int:
+        return self.nit
+
+    def _allocate(self) -> None:
+        self.grid = self.ws.array(
+            "grid", (self.n_grid,), candidate=False, readonly=True
+        )
+        self.xs_table = self.ws.array(
+            "xs_table", (self.n_grid, self.n_nuclides), candidate=False, readonly=True
+        )
+        self.mat_comp = self.ws.array(
+            "mat_comp", (self.n_materials, self.n_nuclides), candidate=False, readonly=True
+        )
+        self.tallies = self.ws.array("tallies", (self.n_materials,), candidate=True)
+        self.lookups = self.ws.scalar("lookups", 0, np.int64, candidate=True)
+
+    def _initialize(self) -> None:
+        rng = derive_rng(self.seed, "xs-tables")
+        # Unionized energy grid on a log scale, like real XS data.
+        self.grid.np[...] = np.sort(10.0 ** rng.uniform(-5, 1, self.n_grid))
+        self.xs_table.np[...] = rng.gamma(2.0, 1.0, (self.n_grid, self.n_nuclides))
+        comp = rng.dirichlet(np.ones(self.n_nuclides), size=self.n_materials)
+        self.mat_comp.np[...] = comp
+        self.tallies.np[...] = 0.0
+        self.lookups.arr.np[0] = 0
+
+    def _iterate(self, it: int) -> bool:
+        ws = self.ws
+        # Per-batch seeding: histories are reproducible per iteration,
+        # exactly like XSBench's independent lookups.
+        rng = derive_rng(self.seed, "xs-batch", it)
+        with ws.region("sample"):
+            energies = 10.0 ** rng.uniform(-5, 1, self.batch)
+            materials = rng.integers(0, self.n_materials, self.batch)
+            grid_vals = self.grid.read()
+        with ws.region("lookup"):
+            idx = np.minimum(
+                np.searchsorted(grid_vals, energies), self.n_grid - 1
+            ).astype(np.int64)
+            # Gather the full nuclide rows at the hit grid points: the
+            # scattered, table-walking access pattern XSBench stresses.
+            flat = (idx[:, None] * self.n_nuclides + np.arange(self.n_nuclides)).ravel()
+            rows = self.xs_table.read_at(flat).reshape(self.batch, self.n_nuclides)
+            comp = self.mat_comp.read()
+            macro_xs = np.einsum("ij,ij->i", rows, comp[materials])
+        with ws.region("tally"):
+            sums = np.bincount(materials, weights=macro_xs, minlength=self.n_materials)
+            self.tallies.update(slice(None), lambda t: np.add(t, sums, out=t))
+            self.lookups.set(int(self.lookups.peek()) + self.batch)
+        return False
+
+    def reference_outcome(self) -> dict[str, float]:
+        out = {f"t{m}": float(self.tallies.np[m]) for m in range(self.n_materials)}
+        out["lookups"] = float(self.lookups.arr.np[0])
+        return out
+
+    def verify(self) -> bool:
+        if self.golden is None:
+            return True
+        out = self.reference_outcome()
+        if out["lookups"] != self.golden["lookups"]:
+            return False
+        for m in range(self.n_materials):
+            ref = self.golden[f"t{m}"]
+            if abs(out[f"t{m}"] - ref) > self.verify_rtol * max(abs(ref), 1e-30):
+                return False
+        return True

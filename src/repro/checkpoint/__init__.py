@@ -1,0 +1,16 @@
+"""Checkpoint/restart substrate: the paper's C/R comparison baseline.
+
+:mod:`repro.checkpoint.cr` simulates in-memory checkpoint creation through
+the cache hierarchy to count the extra NVM writes C/R causes (Fig. 9);
+:mod:`repro.checkpoint.multilevel` models the multi-level (local SSD →
+remote storage) checkpoint timing used by the system-efficiency study.
+"""
+
+from repro.checkpoint.cr import CheckpointWriteStats, checkpoint_write_experiment
+from repro.checkpoint.multilevel import MultiLevelCheckpointModel
+
+__all__ = [
+    "CheckpointWriteStats",
+    "checkpoint_write_experiment",
+    "MultiLevelCheckpointModel",
+]

@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list-apps``
+    The benchmark suite with footprints and region counts.
+``campaign APP``
+    Run a crash-test campaign and print the postmortem summary.
+``plan APP``
+    Run the EasyCrash planning workflow and print the resulting plan.
+``experiment ID``
+    Regenerate one of the paper's tables/figures (e.g. ``fig6``,
+    ``table1``); ``experiment all`` regenerates everything.
+``system``
+    The Sec. 7 system-efficiency model for given MTBF/checkpoint cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = {
+    "table1": "table1_characteristics",
+    "fig3": "fig3_responses",
+    "fig4a": "fig4_mg_objects",
+    "fig4b": "fig4_mg_regions",
+    "fig5": "fig5_selection_strategies",
+    "fig6": "fig6_easycrash",
+    "table4": "table4_overhead",
+    "fig7": "fig7_nvm_sensitivity",
+    "fig8": "fig8_optane",
+    "fig9": "fig9_nvm_writes",
+    "fig10": "fig10_system_efficiency",
+    "fig11": "fig11_scaling",
+    "headline": "headline_claims",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EasyCrash reproduction: NVM crash testing for HPC applications",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list the benchmark applications")
+
+    ch = sub.add_parser("characterize", help="profile an application's data objects")
+    ch.add_argument("app")
+
+    c = sub.add_parser("campaign", help="run a crash-test campaign")
+    c.add_argument("app", help="application name (see list-apps)")
+    c.add_argument("--tests", type=int, default=100, help="number of crash tests")
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument(
+        "--plan",
+        choices=["none", "loop", "easycrash"],
+        default="none",
+        help="persistence plan: none, flush candidates at loop end, or the planned EasyCrash configuration",
+    )
+    c.add_argument("--cores", type=int, default=1, help="simulated cores")
+    c.add_argument("--save", metavar="FILE", help="write the campaign to a JSON file")
+    c.add_argument(
+        "--until-stable",
+        action="store_true",
+        help="grow the campaign until the estimate moves < 5%% between rounds (the paper's stopping rule)",
+    )
+
+    p = sub.add_parser("plan", help="run the EasyCrash planning workflow")
+    p.add_argument("app")
+    p.add_argument("--tests", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ts", type=float, default=0.03, help="runtime overhead bound")
+
+    e = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    e.add_argument("id", choices=[*EXPERIMENTS, "all"])
+
+    a = sub.add_parser("advise", help="Sec. 8 deployment decision for an application")
+    a.add_argument("app")
+    a.add_argument("--mtbf-hours", type=float, default=12.0)
+    a.add_argument("--t-chk", type=float, default=3200.0)
+    a.add_argument("--ts", type=float, default=0.03)
+    a.add_argument("--tests", type=int, default=150)
+
+    s = sub.add_parser("system", help="Sec. 7 system-efficiency model")
+    s.add_argument("--mtbf-hours", type=float, default=12.0)
+    s.add_argument("--t-chk", type=float, default=3200.0)
+    s.add_argument("--recomputability", type=float, default=0.82)
+    s.add_argument("--ts", type=float, default=0.015)
+    return parser
+
+
+def _cmd_list_apps() -> int:
+    from repro.apps.registry import APP_NAMES, get_factory
+    from repro.util.tables import render_table
+
+    rows = []
+    for name in APP_NAMES:
+        fac = get_factory(name)
+        app = fac.make(None)
+        heap = app.ws.heap
+        rows.append(
+            [
+                name,
+                len(fac.regions),
+                f"{heap.footprint_bytes() / 1024:.0f}KB",
+                f"{heap.candidate_bytes() / 1024:.0f}KB",
+                app.nominal_iterations(),
+            ]
+        )
+    print(render_table(
+        ["App", "#regions", "Footprint", "Candidates", "Iterations"], rows
+    ))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.apps.registry import get_factory
+    from repro.nvct.characterize import characterize
+
+    print(characterize(get_factory(args.app)).render())
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.apps.registry import get_factory
+    from repro.core.planner import EasyCrashConfig, plan_easycrash
+    from repro.nvct.campaign import CampaignConfig, run_campaign
+    from repro.nvct.plan import PersistencePlan
+    from repro.nvct.report import campaign_summary, object_inconsistency_table, region_breakdown
+
+    factory = get_factory(args.app)
+    if args.plan == "none":
+        plan = PersistencePlan.none()
+    elif args.plan == "loop":
+        app = factory.make(None)
+        plan = PersistencePlan.at_loop_end([o.name for o in app.ws.heap.candidates()])
+    else:
+        report = plan_easycrash(
+            factory, EasyCrashConfig(n_tests=args.tests, seed=args.seed)
+        )
+        plan = report.plan
+        print(f"critical objects: {', '.join(report.critical_objects) or '(none)'}")
+    cfg = CampaignConfig(
+        n_tests=args.tests, seed=args.seed, plan=plan, n_cores=args.cores
+    )
+    if getattr(args, "until_stable", False):
+        from repro.nvct.adaptive import recomputability_interval, run_campaign_until_stable
+
+        stable = run_campaign_until_stable(factory, cfg, round_size=args.tests)
+        result = stable.result
+        lo, hi = recomputability_interval(result)
+        print(f"stabilized after {stable.rounds} rounds "
+              f"({result.n_tests} tests); 95% CI: [{lo:.3f}, {hi:.3f}]")
+    else:
+        result = run_campaign(factory, cfg)
+    if getattr(args, "save", None):
+        from repro.nvct.serialize import save_campaign
+
+        print(f"campaign saved to {save_campaign(result, args.save)}")
+    print(campaign_summary(result))
+    print()
+    print(region_breakdown(result))
+    print()
+    print(object_inconsistency_table(result))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.apps.registry import get_factory
+    from repro.core.planner import EasyCrashConfig, plan_easycrash
+
+    factory = get_factory(args.app)
+    report = plan_easycrash(
+        factory, EasyCrashConfig(n_tests=args.tests, seed=args.seed, ts=args.ts)
+    )
+    print(f"application: {report.app}")
+    print(f"baseline recomputability: {report.baseline_campaign.recomputability():.1%}")
+    print(f"critical objects: {', '.join(report.critical_objects) or '(none)'}")
+    sel = report.region_selection
+    if sel is None:
+        print("no profitable persistence plan (EasyCrash degenerates to C/R)")
+        return 0
+    for choice in sel.choices:
+        where = "iteration end" if choice.region == "__loop_end__" else f"region {choice.region}"
+        print(f"flush at {where}, every {choice.frequency} execution(s)"
+              f" (est. overhead {choice.cost_share:.2%})")
+    print(f"predicted recomputability: {sel.predicted_recomputability:.1%}")
+    print(f"budget: {sel.total_cost_share:.2%} of ts={sel.ts:.0%}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.harness import experiments
+    from repro.harness.context import get_context
+
+    ctx = get_context()
+    ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    for exp_id in ids:
+        fn = getattr(experiments, EXPERIMENTS[exp_id])
+        print(fn(ctx).render())
+        print()
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.apps.registry import get_factory
+    from repro.core.advisor import DeploymentScenario, advise
+    from repro.core.planner import EasyCrashConfig
+
+    scenario = DeploymentScenario(
+        mtbf_s=args.mtbf_hours * 3600.0, t_chk_s=args.t_chk, ts=args.ts
+    )
+    report = advise(
+        get_factory(args.app),
+        scenario,
+        EasyCrashConfig(n_tests=args.tests, refinement_tests=max(40, args.tests // 2)),
+        validation_tests=args.tests,
+    )
+    print(report.summary())
+    if report.use_easycrash:
+        print(f"plan: {report.plan}")
+    return 0
+
+
+def _cmd_system(args: argparse.Namespace) -> int:
+    from repro.system.efficiency import (
+        SystemParams,
+        efficiency_baseline,
+        efficiency_easycrash,
+        recomputability_threshold,
+    )
+
+    p = SystemParams(mtbf_s=args.mtbf_hours * 3600.0, t_chk_s=args.t_chk)
+    base = efficiency_baseline(p)
+    ec = efficiency_easycrash(p, args.recomputability, args.ts)
+    print(f"MTBF {args.mtbf_hours:.1f}h, T_chk {args.t_chk:.0f}s, "
+          f"R={args.recomputability:.2f}, ts={args.ts:.1%}")
+    print(f"efficiency without EasyCrash: {base:.3f}")
+    print(f"efficiency with EasyCrash:    {ec:.3f}  ({ec - base:+.3f})")
+    print(f"tau (break-even recomputability): {recomputability_threshold(p, args.ts):.3f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-apps":
+        return _cmd_list_apps()
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "advise":
+        return _cmd_advise(args)
+    if args.command == "system":
+        return _cmd_system(args)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""EasyCrash: the paper's primary contribution.
+
+Given an application, EasyCrash decides *which* data objects to persist
+(:mod:`repro.core.selection`, Spearman rank correlation between per-object
+inconsistent rates and recomputation success) and *where / how often* to
+flush them (:mod:`repro.core.regions`, a multiple-choice knapsack over
+code regions and flush frequencies driven by the recomputability model of
+:mod:`repro.core.model`), subject to a runtime overhead bound ``ts`` and
+a system-efficiency-derived recomputability threshold ``tau``.
+
+:mod:`repro.core.planner` orchestrates the paper's four-step workflow:
+crash-test campaign → data-object selection → code-region selection →
+production plan.
+"""
+
+from repro.core.selection import SelectionResult, select_critical_objects
+from repro.core.model import (
+    application_recomputability,
+    recomputability_with_frequency,
+    recomputability_with_plan,
+)
+from repro.core.regions import RegionChoice, RegionSelectionResult, select_code_regions
+from repro.core.planner import EasyCrashConfig, EasyCrashPlanReport, plan_easycrash
+from repro.core.advisor import AdvisorReport, DeploymentScenario, advise
+
+__all__ = [
+    "SelectionResult",
+    "select_critical_objects",
+    "application_recomputability",
+    "recomputability_with_frequency",
+    "recomputability_with_plan",
+    "RegionChoice",
+    "RegionSelectionResult",
+    "select_code_regions",
+    "EasyCrashConfig",
+    "EasyCrashPlanReport",
+    "plan_easycrash",
+    "AdvisorReport",
+    "DeploymentScenario",
+    "advise",
+]

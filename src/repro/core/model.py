@@ -1,0 +1,59 @@
+"""The paper's recomputability model (Sec. 5.2, Eqs. 1-5).
+
+* Eq. 1 — application recomputability is the execution-time-share-weighted
+  sum of per-region recomputabilities: ``Y = Σ a_k c_k``.
+* Eq. 2 — replacing region k's recomputability with its post-persistence
+  value gives ``Y'``.
+* Eq. 5 — persisting every x-th loop execution interpolates linearly
+  between the unpersisted (``c_k``) and maximally persisted (``c_k^max``)
+  recomputability: ``c_k^x = (c_k^max - c_k)/x + c_k``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = [
+    "application_recomputability",
+    "recomputability_with_frequency",
+    "recomputability_with_plan",
+]
+
+
+def application_recomputability(
+    shares: Mapping[str, float], c: Mapping[str, float]
+) -> float:
+    """Eq. 1: ``Y = Σ_k a_k · c_k`` over the regions present in ``shares``.
+
+    Regions without a measured recomputability contribute their share at
+    recomputability 0 (conservative).
+    """
+    return float(sum(a * c.get(k, 0.0) for k, a in shares.items()))
+
+
+def recomputability_with_frequency(c_k: float, c_k_max: float, x: int) -> float:
+    """Eq. 5: the recomputability of a loop region flushed every ``x``-th
+    execution, interpolated between ``c_k`` (x → ∞) and ``c_k_max`` (x=1)."""
+    if x < 1:
+        raise ValueError("flush frequency divisor must be >= 1")
+    return (c_k_max - c_k) / x + c_k
+
+
+def recomputability_with_plan(
+    shares: Mapping[str, float],
+    c: Mapping[str, float],
+    c_max: Mapping[str, float],
+    frequencies: Mapping[str, int],
+) -> float:
+    """Eq. 2 generalized to multiple selected regions: regions in
+    ``frequencies`` use Eq. 5's interpolated value, others keep ``c_k``."""
+    total = 0.0
+    for k, a in shares.items():
+        base = c.get(k, 0.0)
+        if k in frequencies:
+            total += a * recomputability_with_frequency(
+                base, c_max.get(k, base), frequencies[k]
+            )
+        else:
+            total += a * base
+    return float(total)

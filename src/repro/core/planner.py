@@ -1,0 +1,301 @@
+"""EasyCrash's four-step workflow (paper Sec. 5.3).
+
+1. **Crash-test campaign** — run a baseline campaign (only the loop
+   iterator persisted) and collect per-object inconsistent rates,
+   per-region recomputabilities ``c_k`` and time shares ``a_k``.
+2. **Data-object selection** — Spearman correlation picks the critical
+   objects.
+3. **Code-region selection** — a second campaign, persisting the critical
+   objects at every region, measures ``c_k^max``; the knapsack picks the
+   regions and flush frequencies under the ``ts`` overhead bound and the
+   ``τ`` threshold.
+4. **Production plan** — the resulting :class:`PersistencePlan` drives
+   production runs (EasyCrash "automatically manages cache flushes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.base import AppFactory
+from repro.core.regions import RegionSelectionResult, select_code_regions
+from repro.core.selection import SelectionResult, select_critical_objects
+from repro.memsim.config import HierarchyConfig
+from repro.nvct.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.nvct.plan import PersistencePlan
+from repro.perf.costmodel import CostModel
+
+__all__ = ["EasyCrashConfig", "EasyCrashPlanReport", "plan_easycrash"]
+
+
+@dataclass(frozen=True)
+class EasyCrashConfig:
+    """Tunables of the planning workflow."""
+
+    # The paper runs 1000-2000 crash tests per campaign so that weak-but-
+    # real correlations (e.g. kmeans' centroids) reach p < 0.01; 300 is
+    # the scaled-down default with the same property on the mini-apps.
+    n_tests: int = 300
+    seed: int = 0
+    hierarchy: HierarchyConfig | None = None
+    ts: float = 0.03  # runtime-overhead bound (paper: 3%)
+    tau: float = 0.0  # recomputability threshold from the system model
+    alpha: float = 0.01  # Spearman significance threshold
+    freq_options: tuple[int, ...] = (1, 2, 4, 8)
+    cost_model: CostModel = field(default_factory=CostModel)
+    # Upgrade to the full candidate set when it beats the correlation-based
+    # selection by more than this margin (paper Fig. 5 reports < 3%
+    # difference when the selection is sound).
+    selection_verification_gap: float = 0.03
+    # Greedy refinement: drop the largest critical objects whose removal
+    # does not reduce recomputability (they inflate the flush budget and
+    # force lower flush frequencies).  Campaigns for refinement trials use
+    # fewer tests; 0 disables refinement.
+    max_refinement_trials: int = 4
+    refinement_tests: int = 150
+
+
+@dataclass
+class EasyCrashPlanReport:
+    """Everything the workflow produced, for analysis and benchmarking."""
+
+    app: str
+    baseline_campaign: CampaignResult
+    selection: SelectionResult
+    max_campaign: CampaignResult | None
+    loop_campaign: CampaignResult | None
+    region_selection: RegionSelectionResult | None
+    plan: PersistencePlan
+
+    @property
+    def critical_objects(self) -> tuple[str, ...]:
+        return self.selection.critical
+
+    @property
+    def predicted_recomputability(self) -> float:
+        if self.region_selection is None:
+            return self.baseline_campaign.recomputability()
+        return self.region_selection.predicted_recomputability
+
+
+def plan_easycrash(factory: AppFactory, config: EasyCrashConfig) -> EasyCrashPlanReport:
+    """Run the full EasyCrash planning workflow for one application."""
+    # Step 1: baseline campaign (iterator-only persistence, footnote 3).
+    base_cfg = CampaignConfig(
+        n_tests=config.n_tests,
+        seed=config.seed,
+        hierarchy=config.hierarchy,
+        plan=PersistencePlan.none(),
+    )
+    baseline = run_campaign(factory, base_cfg)
+
+    # Step 2: data-object selection.
+    selection = select_critical_objects(baseline, alpha=config.alpha)
+    if not selection.critical:
+        # No correlation signal.  Three cases: (a) almost nothing fails —
+        # EasyCrash degenerates to the iterator-only plan; (b) almost
+        # everything fails (near-constant success vector, e.g. a direct
+        # method like botsspar), where correlation is statistically blind;
+        # (c) the correlation is *positive* (trajectory-replay apps like
+        # CG, where high inconsistency at the crash means the NVM image
+        # sits at a clean iteration boundary).  For (b) and (c), probe the
+        # full candidate set and let the Fig. 5 verification + greedy
+        # refinement decide empirically.
+        failure_rate = 1.0 - baseline.recomputability()
+        all_candidates = tuple(o.name for o in factory.make(None).ws.heap.candidates())
+        adopted = False
+        if failure_rate > 0.1 and all_candidates:
+            probe_cfg = CampaignConfig(
+                n_tests=config.n_tests,
+                seed=config.seed,
+                hierarchy=config.hierarchy,
+                plan=PersistencePlan.at_loop_end(list(all_candidates)),
+            )
+            probe = run_campaign(factory, probe_cfg)
+            if (
+                probe.recomputability()
+                > baseline.recomputability() + config.selection_verification_gap
+            ):
+                selection = SelectionResult(
+                    all_candidates, selection.correlations, selection.alpha
+                )
+                adopted = True
+        if not adopted:
+            return EasyCrashPlanReport(
+                app=factory.name,
+                baseline_campaign=baseline,
+                selection=selection,
+                max_campaign=None,
+                loop_campaign=None,
+                region_selection=None,
+                plan=PersistencePlan.none(),
+            )
+
+    # Step 3a: campaign persisting critical objects at every code region.
+    max_cfg = CampaignConfig(
+        n_tests=config.n_tests,
+        seed=config.seed,
+        hierarchy=config.hierarchy,
+        plan=PersistencePlan.every_region(list(selection.critical), list(factory.regions)),
+    )
+    maximal = run_campaign(factory, max_cfg)
+
+    # Step 3b: campaign persisting them at the end of each iteration (the
+    # Fig. 2a pattern, jointly with the loop iterator).
+    loop_cfg = CampaignConfig(
+        n_tests=config.n_tests,
+        seed=config.seed,
+        hierarchy=config.hierarchy,
+        plan=PersistencePlan.at_loop_end(list(selection.critical)),
+    )
+    loop_max = run_campaign(factory, loop_cfg)
+
+    # Selection verification (paper Fig. 5): compare against persisting
+    # *all* candidate data objects.  When correlation-based selection
+    # misses a load-bearing object (possible when an object's inconsistent
+    # rate barely varies, so its correlation is unreadable), upgrade the
+    # critical set to the full candidate set.
+    all_candidates = tuple(
+        o.name for o in factory.make(None).ws.heap.candidates()
+    )
+    if set(all_candidates) != set(selection.critical):
+        all_cfg = CampaignConfig(
+            n_tests=config.n_tests,
+            seed=config.seed,
+            hierarchy=config.hierarchy,
+            plan=PersistencePlan.at_loop_end(list(all_candidates)),
+        )
+        all_loop = run_campaign(factory, all_cfg)
+        if (
+            all_loop.recomputability()
+            > loop_max.recomputability() + config.selection_verification_gap
+        ):
+            selection = SelectionResult(
+                all_candidates, selection.correlations, selection.alpha
+            )
+            loop_max = all_loop
+
+    # Greedy refinement: large objects that do not contribute to
+    # recomputability only consume flush budget (e.g. objects that are
+    # fully overwritten before any use on replay); drop them.
+    app = factory.make(None)
+    trials = config.max_refinement_trials
+    if trials > 0 and len(selection.critical) > 1:
+        by_size = sorted(
+            selection.critical,
+            key=lambda n: app.ws.heap.objects[n].nblocks,
+            reverse=True,
+        )
+        current = list(selection.critical)
+        current_r = loop_max.recomputability()
+        for victim in by_size[:trials]:
+            if len(current) <= 1:
+                break
+            reduced = [n for n in current if n != victim]
+            trial_cfg = CampaignConfig(
+                n_tests=config.refinement_tests,
+                seed=config.seed,
+                hierarchy=config.hierarchy,
+                plan=PersistencePlan.at_loop_end(reduced),
+            )
+            trial = run_campaign(factory, trial_cfg)
+            if trial.recomputability() >= current_r - config.selection_verification_gap:
+                current = reduced
+                loop_max = trial
+                current_r = max(current_r, trial.recomputability())
+        if tuple(current) != selection.critical:
+            selection = SelectionResult(
+                tuple(current), selection.correlations, selection.alpha
+            )
+
+    critical_blocks = sum(
+        app.ws.heap.objects[name].nblocks for name in selection.critical
+    )
+    executions = {
+        k: p.executions
+        for k, p in baseline.run_stats.region_profile.items()
+        if not k.startswith("__")
+    }
+    base_time = config.cost_model.run_cost(
+        baseline.run_stats.memory, compute_scale=factory.compute_intensity
+    ).total
+    events = loop_max.run_stats.persist_events
+    measured_flush = None
+    if events:
+        measured_flush = float(
+            np.mean(
+                [
+                    config.cost_model.flush_event_cost(
+                        e.blocks_issued, e.dirty_written, e.clean_resident
+                    )
+                    for e in events
+                ]
+            )
+        )
+    region_sel = select_code_regions(
+        baseline.region_time_shares(),
+        baseline.per_region_recomputability(),
+        maximal.per_region_recomputability(),
+        loop_max.per_region_recomputability(),
+        executions,
+        baseline.golden_iterations,
+        critical_blocks,
+        base_time,
+        cost_model=config.cost_model,
+        ts=config.ts,
+        tau=config.tau,
+        freq_options=config.freq_options,
+        measured_flush_once=measured_flush,
+    )
+
+    # Step 4: the production plan — validated before adoption.  The
+    # region model inherits the paper's no-propagation approximation, and
+    # mid-iteration flushes can actively poison iteration-granular
+    # restarts, so the planned configuration is measured and compared
+    # against cheaper alternatives; the best measured plan wins, and if
+    # nothing beats the baseline EasyCrash degenerates to iterator-only.
+    loop_x = region_sel.loop_frequency
+    plan = PersistencePlan.per_region(
+        list(selection.critical),
+        region_sel.frequencies,
+        at_iteration_end=loop_x is not None,
+        iteration_frequency=loop_x or 1,
+    )
+    candidates_measured: list[tuple[PersistencePlan, float]] = []
+    if plan.is_active:
+        val_cfg = CampaignConfig(
+            n_tests=config.refinement_tests,
+            seed=config.seed + 7,
+            hierarchy=config.hierarchy,
+            plan=plan,
+        )
+        candidates_measured.append((plan, run_campaign(factory, val_cfg).recomputability()))
+        if region_sel.frequencies and loop_x is not None:
+            # Alternative: drop the region flushes, keep the boundary flush.
+            loop_only = PersistencePlan.at_loop_end(list(selection.critical), frequency=loop_x)
+            alt_cfg = CampaignConfig(
+                n_tests=config.refinement_tests,
+                seed=config.seed + 7,
+                hierarchy=config.hierarchy,
+                plan=loop_only,
+            )
+            candidates_measured.append(
+                (loop_only, run_campaign(factory, alt_cfg).recomputability())
+            )
+    if candidates_measured:
+        best_plan, best_r = max(candidates_measured, key=lambda t: t[1])
+        if best_r > baseline.recomputability() + config.selection_verification_gap:
+            plan = best_plan
+        else:
+            plan = PersistencePlan.none()
+    return EasyCrashPlanReport(
+        app=factory.name,
+        baseline_campaign=baseline,
+        selection=selection,
+        max_campaign=maximal,
+        loop_campaign=loop_max,
+        region_selection=region_sel,
+        plan=plan,
+    )

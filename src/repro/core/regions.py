@@ -1,0 +1,186 @@
+"""Code-region selection (paper Sec. 5.2).
+
+Given the per-region execution-time shares ``a_k``, the baseline
+recomputabilities ``c_k`` (campaign without persistence), the measured
+maximal recomputabilities under flushing, and a conservative flush-cost
+estimate, choose flush points and frequencies maximizing predicted
+recomputability subject to
+
+* the runtime-overhead bound ``Σ l_k(x_k) < ts`` (Eq. 3), and
+* the system-efficiency threshold ``Y' > τ`` (Eq. 4).
+
+This is the paper's 0-1 knapsack, extended with per-loop flush
+frequencies (Eq. 5) into a multiple-choice knapsack, solved exactly by
+dynamic programming.
+
+One adaptation over the paper: the *end of the main-loop iteration*
+(where Fig. 2a's example flushes, jointly with the loop iterator) is a
+first-class flush point alongside the inner code regions, with its own
+measured effect (``c_loop``).  This matters because restart happens at
+iteration granularity: a flush paired with the iterator creates an exact
+replay point, while a mid-iteration flush can only reduce staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.model import recomputability_with_frequency
+from repro.perf.costmodel import CostModel
+from repro.util.knapsack import knapsack_multiple_choice
+
+__all__ = ["RegionChoice", "RegionSelectionResult", "select_code_regions"]
+
+LOOP_END = "__loop_end__"
+
+
+@dataclass(frozen=True)
+class RegionChoice:
+    """One selected flush point with its frequency and model predictions."""
+
+    region: str  # a region id, or LOOP_END
+    frequency: int
+    cost_share: float
+    gain: float
+
+
+@dataclass
+class RegionSelectionResult:
+    """Output of the region-selection knapsack."""
+
+    choices: tuple[RegionChoice, ...]
+    predicted_recomputability: float
+    baseline_recomputability: float
+    total_cost_share: float
+    ts: float
+    tau: float
+
+    @property
+    def frequencies(self) -> dict[str, int]:
+        return {c.region: c.frequency for c in self.choices if c.region != LOOP_END}
+
+    @property
+    def loop_frequency(self) -> int | None:
+        for c in self.choices:
+            if c.region == LOOP_END:
+                return c.frequency
+        return None
+
+    @property
+    def feasible(self) -> bool:
+        """Eq. 4: does the predicted recomputability clear τ?"""
+        return self.predicted_recomputability > self.tau
+
+
+def select_code_regions(
+    shares: Mapping[str, float],
+    c_base: Mapping[str, float],
+    c_region_max: Mapping[str, float],
+    c_loop_max: Mapping[str, float],
+    executions: Mapping[str, int],
+    nominal_iterations: int,
+    critical_blocks: int,
+    base_time: float,
+    *,
+    cost_model: CostModel | None = None,
+    ts: float = 0.03,
+    tau: float = 0.0,
+    freq_options: tuple[int, ...] = (1, 2, 4, 8),
+    invalidate: bool = False,
+    measured_flush_once: float | None = None,
+) -> RegionSelectionResult:
+    """Run the multiple-choice knapsack over flush points × frequencies.
+
+    ``critical_blocks`` is the cache-block count of the critical objects
+    (one persistence operation flushes all of them); ``base_time`` is the
+    measured no-persistence execution time, which converts flush costs
+    into overhead *shares* comparable with ``ts``.
+    """
+    cm = cost_model or CostModel()
+    if measured_flush_once is not None:
+        # Measurement-based estimate from a campaign's persist events,
+        # like the paper's "overhead measurement of flushing one cache
+        # block"; much tighter than the all-dirty worst case.
+        flush_once = measured_flush_once
+    else:
+        flush_once = cm.estimate_flush_once(critical_blocks, invalidate=invalidate)
+    regions = [k for k, a in sorted(shares.items()) if a > 0 and not k.startswith("__")]
+
+    groups: list[list[tuple[float, float]]] = []
+    meta: list[list[tuple[str, int, float, float]]] = []
+
+    def add_group(name: str, per_exec: int, gain_at_freq) -> None:
+        group: list[tuple[float, float]] = []
+        info: list[tuple[str, int, float, float]] = []
+        for x in freq_options:
+            gain = gain_at_freq(x)
+            cost = flush_once * (per_exec / x) / base_time if per_exec else 0.0
+            if gain <= 0:
+                continue
+            group.append((gain, cost))
+            info.append((name, x, cost, gain))
+        groups.append(group)
+        meta.append(info)
+
+    # Inner code regions (the paper's items).
+    for k in regions:
+        ck = c_base.get(k, 0.0)
+        ckm = c_region_max.get(k, ck)
+        add_group(
+            k,
+            executions.get(k, 0),
+            lambda x, ck=ck, ckm=ckm, a=shares[k]: a
+            * (recomputability_with_frequency(ck, ckm, x) - ck),
+        )
+
+    # The iteration-boundary flush point (adaptation, see module docstring).
+    def loop_gain(x: int) -> float:
+        total = 0.0
+        for k in regions:
+            ck = c_base.get(k, 0.0)
+            ckl = c_loop_max.get(k, ck)
+            total += shares[k] * (recomputability_with_frequency(ck, ckl, x) - ck)
+        return total
+
+    add_group(LOOP_END, nominal_iterations, loop_gain)
+
+    solution = knapsack_multiple_choice(groups, ts)
+    choices: list[RegionChoice] = []
+    for gi, oi in enumerate(solution.chosen):
+        if oi >= 0:
+            name, x, cost, gain = meta[gi][oi]
+            choices.append(RegionChoice(name, x, cost, gain))
+
+    # Predicted Y': per region, the best of the selected mechanisms
+    # (cross-mechanism effects are not additive; taking the max is the
+    # conservative combination, in the spirit of the paper's own
+    # no-propagation approximation).
+    loop_x = None
+    for c in choices:
+        if c.region == LOOP_END:
+            loop_x = c.frequency
+    region_x = {c.region: c.frequency for c in choices if c.region != LOOP_END}
+    baseline_y = 0.0
+    predicted_y = 0.0
+    for k in regions:
+        a = shares[k]
+        ck = c_base.get(k, 0.0)
+        baseline_y += a * ck
+        cand = [ck]
+        if loop_x is not None:
+            cand.append(recomputability_with_frequency(ck, c_loop_max.get(k, ck), loop_x))
+        if k in region_x:
+            cand.append(
+                recomputability_with_frequency(ck, c_region_max.get(k, ck), region_x[k])
+            )
+        predicted_y += a * max(cand)
+
+    return RegionSelectionResult(
+        choices=tuple(choices),
+        predicted_recomputability=float(predicted_y),
+        baseline_recomputability=float(baseline_y),
+        total_cost_share=float(sum(c.cost_share for c in choices)),
+        ts=ts,
+        tau=tau,
+    )

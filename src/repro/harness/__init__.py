@@ -1,0 +1,8 @@
+"""Experiment harness: one driver per table/figure of the paper's
+evaluation, sharing a cached :class:`~repro.harness.context.ExperimentContext`
+so the expensive planning campaigns run once per session."""
+
+from repro.harness.context import ExperimentContext, ExperimentSettings, get_context
+from repro.harness import experiments
+
+__all__ = ["ExperimentContext", "ExperimentSettings", "get_context", "experiments"]

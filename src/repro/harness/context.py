@@ -1,0 +1,178 @@
+"""Shared experiment state: factories, plans, campaigns, measurements.
+
+The paper's experiments reuse the same campaigns across tables and
+figures (the EasyCrash plan feeds Fig. 6, Table 4, Figs. 7-11).  The
+context caches every expensive artifact by application so a full
+benchmark session pays for each campaign once.
+
+``REPRO_BENCH_SCALE`` (environment) scales the campaign sizes: ``quick``
+(CI-sized), ``default``, or ``paper`` (closer to the paper's 1000-2000
+tests; slow).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.base import AppFactory
+from repro.apps.registry import APP_NAMES, get_factory
+from repro.core.planner import EasyCrashConfig, EasyCrashPlanReport, plan_easycrash
+from repro.memsim.config import HierarchyConfig
+from repro.nvct.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    RunStats,
+    measure_run,
+    run_campaign,
+)
+from repro.nvct.plan import PersistencePlan
+from repro.perf.costmodel import CostModel
+
+__all__ = ["ExperimentSettings", "ExperimentContext", "get_context"]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Campaign sizes and shared configuration for the harness."""
+
+    n_tests: int = 120  # validation campaigns
+    planner_tests: int = 200  # planning campaigns (steps 1-3)
+    refinement_tests: int = 100
+    seed: int = 2020
+    ts: float = 0.03
+
+    @staticmethod
+    def from_env() -> "ExperimentSettings":
+        scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+        if scale == "quick":
+            return ExperimentSettings(n_tests=40, planner_tests=80, refinement_tests=40)
+        if scale == "paper":
+            return ExperimentSettings(
+                n_tests=400, planner_tests=1000, refinement_tests=300
+            )
+        return ExperimentSettings()
+
+
+class ExperimentContext:
+    """Lazily computed, cached per-application experiment artifacts."""
+
+    def __init__(self, settings: ExperimentSettings | None = None):
+        self.settings = settings or ExperimentSettings.from_env()
+        self.cost_model = CostModel()
+        self._plans: dict[str, EasyCrashPlanReport] = {}
+        self._campaigns: dict[tuple[str, str], CampaignResult] = {}
+        self._measures: dict[tuple[str, str], RunStats] = {}
+
+    # -- primitives -----------------------------------------------------------
+
+    def factory(self, name: str) -> AppFactory:
+        return get_factory(name)
+
+    def app_names(self) -> tuple[str, ...]:
+        return APP_NAMES
+
+    def plan_report(self, name: str) -> EasyCrashPlanReport:
+        """The EasyCrash planning workflow output for one application."""
+        if name not in self._plans:
+            cfg = EasyCrashConfig(
+                n_tests=self.settings.planner_tests,
+                seed=self.settings.seed,
+                ts=self.settings.ts,
+                refinement_tests=self.settings.refinement_tests,
+            )
+            self._plans[name] = plan_easycrash(self.factory(name), cfg)
+        return self._plans[name]
+
+    def campaign(
+        self,
+        name: str,
+        plan: PersistencePlan,
+        label: str,
+        verified: bool = False,
+        n_tests: int | None = None,
+    ) -> CampaignResult:
+        """A crash campaign for (application, plan), cached by label."""
+        key = (name, label)
+        if key not in self._campaigns:
+            cfg = CampaignConfig(
+                n_tests=n_tests or self.settings.n_tests,
+                seed=self.settings.seed + 1,  # independent of planning seed
+                plan=plan,
+                verified_mode=verified,
+            )
+            self._campaigns[key] = run_campaign(self.factory(name), cfg)
+        return self._campaigns[key]
+
+    def measure(self, name: str, plan: PersistencePlan, label: str) -> RunStats:
+        """Event counts of an instrumented production run under ``plan``."""
+        key = (name, label)
+        if key not in self._measures:
+            cfg = CampaignConfig(plan=plan)
+            self._measures[key] = measure_run(self.factory(name), cfg)
+        return self._measures[key]
+
+    # -- derived plans -----------------------------------------------------------
+
+    def candidates(self, name: str) -> tuple[str, ...]:
+        app = self.factory(name).make(None)
+        return tuple(o.name for o in app.ws.heap.candidates())
+
+    def plan_none(self) -> PersistencePlan:
+        return PersistencePlan.none()
+
+    def plan_baseline_no_iterator(self) -> PersistencePlan:
+        return PersistencePlan.none(persist_iterator=False)
+
+    def plan_easycrash(self, name: str) -> PersistencePlan:
+        return self.plan_report(name).plan
+
+    def plan_selected_at_loop(self, name: str) -> PersistencePlan:
+        """Flush the selected critical objects at every iteration end
+        (the "selecting data objects" stage of Fig. 6)."""
+        crit = self.plan_report(name).critical_objects
+        if not crit:
+            return PersistencePlan.none()
+        return PersistencePlan.at_loop_end(list(crit))
+
+    def plan_all_candidates_at_loop(self, name: str) -> PersistencePlan:
+        """Flush all candidate objects every iteration (the no-selection
+        baseline of Fig. 5 / Table 4 / Fig. 7)."""
+        return PersistencePlan.at_loop_end(list(self.candidates(name)))
+
+    def plan_best(self, name: str) -> PersistencePlan:
+        """The paper's costly "best recomputability" configuration:
+        critical objects persisted at every code region and at every
+        iteration end."""
+        crit = self.plan_report(name).critical_objects
+        if not crit:
+            crit = self.candidates(name)
+        return PersistencePlan.per_region(
+            list(crit),
+            {r: 1 for r in self.factory(name).regions},
+            at_iteration_end=True,
+        )
+
+    # -- aggregates -------------------------------------------------------------
+
+    def easycrash_recomputability(self, name: str) -> float:
+        return self.campaign(name, self.plan_easycrash(name), "easycrash").recomputability()
+
+    def average_easycrash_recomputability(self, apps: tuple[str, ...] | None = None) -> float:
+        """Average EasyCrash recomputability over the evaluated apps; the
+        paper excludes EP (recomputability ~0, cannot clear τ)."""
+        names = [a for a in (apps or self.app_names()) if a != "EP"]
+        return float(np.mean([self.easycrash_recomputability(n) for n in names]))
+
+
+_context: ExperimentContext | None = None
+
+
+def get_context() -> ExperimentContext:
+    """Process-wide shared context (one per benchmark session)."""
+    global _context
+    if _context is None:
+        _context = ExperimentContext()
+    return _context

@@ -1,0 +1,48 @@
+"""Round decomposition of access sequences.
+
+A *round* is a group of block ids whose sets are pairwise distinct at the
+smallest cache level (set counts are powers of two, so distinctness there
+implies distinctness at every level).  Because per-set LRU state evolves
+independently, any grouping that preserves each set's subsequence order is
+an exact reordering; rounds are what both the vectorized hierarchy and the
+reference model iterate over, so their semantics coincide by construction.
+
+Within a round, updates are applied in phases: probe/refresh first, then
+installs from the LLC upward.  This is the canonical serialization of the
+round's (conceptually concurrent) accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["iter_rounds_contiguous", "iter_rounds_generic"]
+
+
+def iter_rounds_contiguous(block_lo: int, block_hi: int, min_sets: int) -> Iterator[np.ndarray]:
+    """Rounds for a contiguous range: consecutive chunks of ``min_sets``
+    blocks (any ``min_sets`` consecutive integers have distinct sets)."""
+    for start in range(block_lo, block_hi, min_sets):
+        stop = min(start + min_sets, block_hi)
+        yield np.arange(start, stop, dtype=np.int64)
+
+
+def iter_rounds_generic(blocks: np.ndarray, min_sets: int) -> Iterator[np.ndarray]:
+    """Rounds for an arbitrary ordered sequence: the j-th round holds the
+    j-th occurrence of every set, preserving per-set order exactly."""
+    blocks = np.asarray(blocks, dtype=np.int64)
+    if blocks.size == 0:
+        return
+    sets = blocks & (min_sets - 1)
+    order = np.argsort(sets, kind="stable")
+    sorted_sets = sets[order]
+    boundary = np.flatnonzero(np.diff(sorted_sets) != 0) + 1
+    starts = np.concatenate(([0], boundary))
+    sizes = np.diff(np.concatenate((starts, [sets.size])))
+    within = np.arange(sets.size) - np.repeat(starts, sizes)
+    occurrence = np.empty(sets.size, dtype=np.int64)
+    occurrence[order] = within
+    for j in range(int(occurrence.max()) + 1):
+        yield blocks[occurrence == j]

@@ -1,0 +1,79 @@
+"""Event counters for the cache/NVM simulation.
+
+The performance model (``repro.perf``) and the write-endurance analysis
+(Fig. 9) are both derived from these counters, so they are the simulator's
+primary output next to the NVM value image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["CacheStats", "MemoryStats"]
+
+
+@dataclass
+class CacheStats:
+    """Per-cache-level event counters."""
+
+    read_accesses: int = 0
+    write_accesses: int = 0
+    read_hits: int = 0
+    write_hits: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    flush_issued: int = 0
+    flush_dirty_hits: int = 0
+    flush_clean_hits: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.read_accesses + self.write_accesses
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: "CacheStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+
+@dataclass
+class MemoryStats:
+    """NVM-side event counters (what the endurance study cares about).
+
+    ``nvm_writes`` counts dirty blocks written back from the last-level
+    cache (evictions, flushes and end-of-run write-back-all), matching the
+    paper's methodology: "Whenever a dirty cache block is written back from
+    the last level cache to NVM, we count the number of writes by one."
+    """
+
+    nvm_writes: int = 0
+    nvm_writes_from_evictions: int = 0
+    nvm_writes_from_flushes: int = 0
+    nvm_writes_from_drain: int = 0
+    nvm_writes_from_nt: int = 0  # non-temporal (cache-bypassing) stores
+    nvm_fills: int = 0
+    per_level: dict[str, CacheStats] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        d: dict[str, object] = {
+            "nvm_writes": self.nvm_writes,
+            "nvm_writes_from_evictions": self.nvm_writes_from_evictions,
+            "nvm_writes_from_flushes": self.nvm_writes_from_flushes,
+            "nvm_writes_from_drain": self.nvm_writes_from_drain,
+            "nvm_writes_from_nt": self.nvm_writes_from_nt,
+            "nvm_fills": self.nvm_fills,
+        }
+        for name, cs in self.per_level.items():
+            d[name] = cs.as_dict()
+        return d

@@ -1,0 +1,316 @@
+"""Crash-test campaigns: sampling, snapshotting, restart, classification.
+
+A campaign reproduces the paper's methodology (Sec. 4.1): many tests, each
+stopping the application after a uniformly random access (within the main
+computation loop), restarting it from the data objects remaining in NVM,
+and classifying the outcome:
+
+* **S1** — successful recomputation, no extra iterations (the paper's
+  definition of *recomputability*);
+* **S2** — successful recomputation, but extra iterations were needed;
+* **S3** — interruption (the restarted run raises, e.g. an out-of-bounds
+  index — the analogue of a segfault);
+* **S4** — verification fails even within 2x the original iterations.
+
+One instrumented execution provides every test of a campaign: snapshots
+of the NVM image are taken at all (sorted) crash points, then each
+snapshot is restarted in fast plain mode.  This is statistically identical
+to independent crashes under the uniform crash distribution and makes
+thousand-test campaigns tractable.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.memsim.config import HierarchyConfig
+from repro.memsim.stats import MemoryStats
+from repro.nvct.plan import PersistencePlan
+from repro.nvct.runtime import CountingRuntime, PersistEvent, RegionProfile, Runtime, Snapshot
+from repro.util.rng import derive_rng
+
+if TYPE_CHECKING:  # avoid a circular import (apps depend on nvct)
+    from repro.apps.base import AppFactory
+
+__all__ = [
+    "Response",
+    "CrashTestRecord",
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "measure_run",
+]
+
+
+class Response(enum.Enum):
+    """The paper's four post-crash application responses (Fig. 3)."""
+
+    S1 = "success"
+    S2 = "success_extra_iterations"
+    S3 = "interruption"
+    S4 = "verification_fails"
+
+
+@dataclass
+class CrashTestRecord:
+    """Outcome of one crash test."""
+
+    counter: int
+    iteration: int
+    region: str
+    rates: dict[str, float]
+    response: Response
+    extra_iterations: int = 0
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Campaign parameters."""
+
+    n_tests: int = 200
+    seed: int = 0
+    hierarchy: HierarchyConfig | None = None
+    plan: PersistencePlan = field(default_factory=PersistencePlan.none)
+    verified_mode: bool = False  # restart from consistent copies (Fig. 6 "VFY")
+    max_iter_factor: float = 2.0  # iteration allowance before declaring S4
+    # Crash-time distribution over the main-loop window: "uniform" (the
+    # paper's discrete uniform), or Beta-skewed toward the "early"/"late"
+    # part of the execution (ablation).
+    distribution: str = "uniform"
+    # Simulated cores: 1 uses the standard hierarchy; >1 uses the MESI-lite
+    # multi-core model (applications may shard work with on_core()).
+    n_cores: int = 1
+
+
+@dataclass
+class RunStats:
+    """Event counts of the instrumented (no-crash-perturbation) execution,
+    consumed by the performance model."""
+
+    memory: MemoryStats
+    region_profile: dict[str, RegionProfile]
+    persist_events: list[PersistEvent]
+    total_accesses: int
+    window_begin: int
+    iterations: int
+
+    @property
+    def persist_op_count(self) -> int:
+        return len(self.persist_events)
+
+
+@dataclass
+class CampaignResult:
+    """All records of a campaign plus the instrumented run's statistics."""
+
+    app: str
+    plan: PersistencePlan
+    records: list[CrashTestRecord]
+    run_stats: RunStats
+    golden_iterations: int
+
+    # -- headline metrics ---------------------------------------------------
+
+    @property
+    def n_tests(self) -> int:
+        return len(self.records)
+
+    def recomputability(self) -> float:
+        """Fraction of tests with response S1 (the paper's definition)."""
+        if not self.records:
+            return float("nan")
+        return sum(r.response is Response.S1 for r in self.records) / len(self.records)
+
+    def response_fractions(self) -> dict[Response, float]:
+        out = {resp: 0.0 for resp in Response}
+        if not self.records:
+            return out
+        for r in self.records:
+            out[r.response] += 1.0
+        return {k: v / len(self.records) for k, v in out.items()}
+
+    def mean_extra_iterations(self) -> float:
+        """Average extra iterations among S2 tests (Table 1 restart
+        overhead); NaN when no test needed extra iterations."""
+        extras = [r.extra_iterations for r in self.records if r.response is Response.S2]
+        return float(np.mean(extras)) if extras else float("nan")
+
+    # -- per-region views -----------------------------------------------------
+
+    def per_region_recomputability(self) -> dict[str, float]:
+        """c_k: S1 rate among tests whose crash fell in region k."""
+        by: dict[str, list[bool]] = {}
+        for r in self.records:
+            by.setdefault(r.region, []).append(r.response is Response.S1)
+        return {k: float(np.mean(v)) for k, v in by.items()}
+
+    def region_time_shares(self) -> dict[str, float]:
+        """a_k: region access-count share of the main-loop window (a proxy
+        for execution-time share in memory-bound HPC kernels)."""
+        prof = self.run_stats.region_profile
+        total = sum(p.accesses for k, p in prof.items() if not k.startswith("__init"))
+        if total == 0:
+            return {}
+        return {
+            k: p.accesses / total
+            for k, p in prof.items()
+            if not k.startswith("__init")
+        }
+
+    # -- selection inputs ---------------------------------------------------------
+
+    def object_rate_vectors(self) -> dict[str, np.ndarray]:
+        """Per-candidate inconsistent-rate vectors across tests."""
+        if not self.records:
+            return {}
+        names = sorted(self.records[0].rates)
+        return {
+            n: np.array([r.rates.get(n, 0.0) for r in self.records]) for n in names
+        }
+
+    def success_vector(self) -> np.ndarray:
+        return np.array([1.0 if r.response is Response.S1 else 0.0 for r in self.records])
+
+
+def _sample_crash_points(
+    window: tuple[int, int],
+    n_tests: int,
+    seed: int,
+    key: str,
+    distribution: str = "uniform",
+) -> np.ndarray:
+    lo, hi = window
+    if hi <= lo:
+        raise ValueError("empty crash window: application issued no main-loop accesses")
+    rng = derive_rng(seed, "crash-points", key)
+    span = hi - lo
+    n = min(n_tests, span)
+    if distribution == "uniform":
+        points = rng.choice(span, size=n, replace=False).astype(np.int64)
+    elif distribution in ("early", "late"):
+        a, b = (1.0, 3.0) if distribution == "early" else (3.0, 1.0)
+        raw = np.unique((rng.beta(a, b, size=4 * n) * span).astype(np.int64))
+        rng.shuffle(raw)
+        points = raw[:n]
+    else:
+        raise ValueError(f"unknown crash distribution {distribution!r}")
+    return np.sort(points + lo + 1)
+
+
+def _classify(
+    factory: AppFactory,
+    snap: Snapshot,
+    golden_iterations: int,
+    cfg: CampaignConfig,
+) -> CrashTestRecord:
+    app = factory.make(runtime=None)
+    state = snap.consistent_state if cfg.verified_mode else snap.nvm_state
+    assert state is not None
+    # Fixed-iteration apps (DEFAULT_MAX_FACTOR == 1) always stop at their
+    # nominal count; convergence-driven apps get the paper's 2x allowance.
+    factor = min(cfg.max_iter_factor, app.DEFAULT_MAX_FACTOR)
+    limit = max(golden_iterations, int(math.ceil(golden_iterations * factor)))
+    try:
+        with np.errstate(all="ignore"):
+            # A failing restore (e.g. a truncated NVM payload) is itself
+            # an interruption: the restart cannot even begin.
+            start_iter = app.restore(state)
+            result = app.run(start_iter=start_iter, max_iterations=limit)
+            ok = app.verify()
+    except Exception:
+        return CrashTestRecord(
+            snap.counter, snap.iteration, snap.region, snap.rates, Response.S3
+        )
+    if not ok:
+        resp = Response.S4
+        extra = 0
+    elif result.iterations > golden_iterations:
+        resp = Response.S2
+        extra = result.iterations - golden_iterations
+    else:
+        resp = Response.S1
+        extra = 0
+    return CrashTestRecord(
+        snap.counter, snap.iteration, snap.region, snap.rates, resp, extra
+    )
+
+
+def _instrumented_run(
+    factory: AppFactory, cfg: CampaignConfig, crash_points: np.ndarray | None
+) -> tuple[Runtime, int]:
+    if cfg.n_cores > 1:
+        from repro.nvct.multicore_runtime import MulticoreRuntime
+
+        rt: Runtime = MulticoreRuntime(
+            n_cores=cfg.n_cores,
+            plan=cfg.plan,
+            crash_points=crash_points,
+            capture_consistent=cfg.verified_mode,
+        )
+    else:
+        rt = Runtime(
+            hierarchy=cfg.hierarchy,
+            plan=cfg.plan,
+            crash_points=crash_points,
+            capture_consistent=cfg.verified_mode,
+        )
+    app = factory.make(runtime=rt)
+    with np.errstate(all="ignore"):
+        result = app.run()
+    return rt, result.iterations
+
+
+def _run_stats(rt: Runtime, iterations: int) -> RunStats:
+    assert rt.hierarchy is not None
+    return RunStats(
+        memory=rt.hierarchy.stats,
+        region_profile=rt.region_profile,
+        persist_events=rt.persist_events,
+        total_accesses=rt.counter,
+        window_begin=rt.window_begin or 0,
+        iterations=iterations,
+    )
+
+
+def measure_run(factory: AppFactory, cfg: CampaignConfig) -> RunStats:
+    """Instrumented execution without crash points: the event counts of a
+    production run under ``cfg.plan`` (performance / write-traffic model)."""
+    rt, iterations = _instrumented_run(factory, cfg, None)
+    return _run_stats(rt, iterations)
+
+
+def run_campaign(factory: AppFactory, cfg: CampaignConfig) -> CampaignResult:
+    """Run a full crash-test campaign for one application and plan."""
+    golden_result, _ = factory.golden()
+
+    # Profile pass: total access count and the main-loop crash window.
+    counting = CountingRuntime()
+    profiling_app = factory.make(runtime=counting)
+    profiling_app.run()
+    window = (counting.window_begin or 0, counting.counter)
+
+    points = _sample_crash_points(
+        window, cfg.n_tests, cfg.seed, factory.name, cfg.distribution
+    )
+    rt, iterations = _instrumented_run(factory, cfg, points)
+    if len(rt.snapshots) != points.size:
+        raise RuntimeError(
+            f"{factory.name}: {points.size} crash points but {len(rt.snapshots)} snapshots"
+        )
+
+    records = [
+        _classify(factory, snap, golden_result.iterations, cfg) for snap in rt.snapshots
+    ]
+    return CampaignResult(
+        app=factory.name,
+        plan=cfg.plan,
+        records=records,
+        run_stats=_run_stats(rt, iterations),
+        golden_iterations=golden_result.iterations,
+    )

@@ -1,0 +1,113 @@
+"""Application characterization (the paper's Sec. 2.2 / Table 1 survey).
+
+Profiles an application's data objects — sizes, read/write ratios,
+regions touched, candidacy — from a fast counting run.  This is the
+object-level view the paper's survey of 51 HPC applications relies on
+("major memory footprint and most important data objects are heap and
+global ones") and the source of Table 1's per-benchmark columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.nvct.runtime import CountingRuntime
+from repro.util.tables import render_table
+
+if TYPE_CHECKING:  # avoid a circular import (apps depend on nvct)
+    from repro.apps.base import AppFactory
+
+__all__ = ["ObjectCharacter", "AppCharacter", "characterize"]
+
+
+@dataclass(frozen=True)
+class ObjectCharacter:
+    """One data object's profile."""
+
+    name: str
+    nbytes: int
+    candidate: bool
+    readonly: bool
+    reads: int
+    writes: int
+    regions: tuple[str, ...]
+
+    @property
+    def rw_ratio(self) -> float:
+        return self.reads / max(1, self.writes)
+
+
+@dataclass
+class AppCharacter:
+    """A whole application's profile."""
+
+    app: str
+    footprint_bytes: int
+    candidate_bytes: int
+    total_accesses: int
+    regions: tuple[str, ...]
+    objects: tuple[ObjectCharacter, ...]
+    iterations: int
+
+    @property
+    def rw_ratio(self) -> float:
+        reads = sum(o.reads for o in self.objects)
+        writes = sum(o.writes for o in self.objects)
+        return reads / max(1, writes)
+
+    def render(self) -> str:
+        rows = []
+        for o in sorted(self.objects, key=lambda x: -x.nbytes):
+            kind = "read-only" if o.readonly else ("candidate" if o.candidate else "temp")
+            rows.append(
+                [
+                    o.name,
+                    f"{o.nbytes / 1024:.1f}KB",
+                    kind,
+                    o.reads,
+                    o.writes,
+                    f"{o.rw_ratio:.1f}:1",
+                    ",".join(r for r in o.regions if not r.startswith("__")) or "-",
+                ]
+            )
+        table = render_table(
+            ["Object", "Size", "Kind", "Read blocks", "Write blocks", "R/W", "Regions"],
+            rows,
+            title=(
+                f"{self.app}: footprint {self.footprint_bytes / 1024:.0f}KB, "
+                f"{len(self.regions)} regions, {self.iterations} iterations, "
+                f"R/W {self.rw_ratio:.1f}:1"
+            ),
+        )
+        return table
+
+
+def characterize(factory: AppFactory) -> AppCharacter:
+    """Profile one application with a counting run (no cache simulation)."""
+    rt = CountingRuntime()
+    app = factory.make(runtime=rt)
+    result = app.run()
+    objects = []
+    for obj in app.ws.heap.objects.values():
+        prof = rt.object_profile.get(obj.name)
+        objects.append(
+            ObjectCharacter(
+                name=obj.name,
+                nbytes=obj.nbytes,
+                candidate=obj.candidate,
+                readonly=obj.readonly,
+                reads=prof.reads if prof else 0,
+                writes=prof.writes if prof else 0,
+                regions=tuple(sorted(prof.regions)) if prof else (),
+            )
+        )
+    return AppCharacter(
+        app=factory.name,
+        footprint_bytes=app.ws.heap.footprint_bytes(),
+        candidate_bytes=app.ws.heap.candidate_bytes(),
+        total_accesses=rt.counter,
+        regions=factory.regions,
+        objects=tuple(objects),
+        iterations=result.iterations,
+    )

@@ -1,0 +1,309 @@
+"""Managed data objects: the application-facing instrumentation API.
+
+Applications allocate their heap/global data objects through a
+:class:`Workspace` and perform every read/write of those objects through
+:class:`ManagedArray` / :class:`ManagedScalar`.  With an attached runtime,
+each operation drives the cache simulation at block granularity; without
+one (plain runs, restarts) the operations are thin NumPy passthroughs, so
+the same application code serves both modes.
+
+This substitutes for the paper's PIN instrumentation of native binaries:
+what the study needs is the block-granular stream of loads and stores to
+the persistent data objects, which these wrappers deliver exactly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.memsim.blocks import BLOCK_SIZE
+from repro.nvct.heap import DataObject, PersistentHeap
+from repro.nvct.runtime import CountingRuntime
+
+__all__ = ["ManagedArray", "ManagedScalar", "Workspace"]
+
+try:  # NumPy >= 2.0
+    from numpy.lib.array_utils import byte_bounds as _byte_bounds
+except ImportError:  # pragma: no cover - NumPy 1.x
+    from numpy import byte_bounds as _byte_bounds  # type: ignore[attr-defined]
+
+
+class ManagedArray:
+    """NumPy-array-like handle whose accesses are (optionally) simulated."""
+
+    __slots__ = ("obj", "_rt", "_base_ptr")
+
+    def __init__(self, obj: DataObject, runtime: CountingRuntime | None):
+        self.obj = obj
+        self._rt = runtime
+        self._base_ptr = _byte_bounds(obj.data)[0]
+
+    # -- plain views ----------------------------------------------------------
+
+    @property
+    def np(self) -> np.ndarray:
+        """Raw architectural array (reads through it are *not* recorded)."""
+        return self.obj.data
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.obj.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.obj.dtype
+
+    @property
+    def size(self) -> int:
+        return self.obj.data.size
+
+    @property
+    def name(self) -> str:
+        return self.obj.name
+
+    # -- span computation ----------------------------------------------------------
+
+    def _span(self, view: np.ndarray) -> tuple[int, int, bool]:
+        lo, hi = _byte_bounds(view)
+        byte_lo = lo - self._base_ptr
+        byte_hi = hi - self._base_ptr
+        contiguous = bool(view.flags["C_CONTIGUOUS"]) and (hi - lo == view.nbytes)
+        return byte_lo, byte_hi, contiguous
+
+    # -- recorded operations ----------------------------------------------------------
+
+    def read(self, key: object = slice(None)) -> np.ndarray:
+        """Load the selected region (records read accesses), return a view.
+
+        For strided selections the recorded span covers the bounding byte
+        range — the realistic behaviour for sub-block strides, a mild
+        overcount for block-skipping strides.
+        """
+        view = self.obj.data[key]
+        if self._rt is not None and isinstance(view, np.ndarray):
+            byte_lo, byte_hi, _ = self._span(view)
+            self._rt.load_range(self.obj, byte_lo, byte_hi)
+        elif self._rt is not None:
+            # Scalar element read: one block.
+            flat = int(np.ravel_multi_index(key, self.obj.shape)) if isinstance(key, tuple) else int(key)
+            b = flat * self.obj.dtype.itemsize
+            self._rt.load_range(self.obj, b, b + self.obj.dtype.itemsize)
+        return view
+
+    def write(self, key: object, value: object) -> None:
+        """Store ``value`` into the selected region (records write accesses).
+
+        Contiguous stores split exactly at crash points; non-contiguous
+        stores are atomic with respect to crashes.
+        """
+        if self._rt is None:
+            self.obj.data[key] = value
+            return
+        view = self.obj.data[key]
+        if not isinstance(view, np.ndarray) or view.ndim == 0:
+            # Single-element store: one (sub-)block contiguous store.
+            byte_lo, byte_hi, _ = self._elem_span(key)
+
+            def elem_assign() -> None:
+                self.obj.data[key] = value
+
+            def elem_src() -> np.ndarray:
+                out = np.empty((1,), dtype=self.obj.dtype)
+                out[0] = value
+                return out.view(np.uint8)
+
+            self._rt.store_range(self.obj, byte_lo, byte_hi, elem_assign, elem_src)
+            return
+        byte_lo, byte_hi, contiguous = self._span(view)
+
+        def fast_assign() -> None:
+            self.obj.data[key] = value
+
+        if contiguous:
+
+            def make_src() -> np.ndarray:
+                out = np.empty(view.shape, dtype=self.obj.dtype)
+                out[...] = value
+                return out.reshape(-1).view(np.uint8)
+
+            self._rt.store_range(self.obj, byte_lo, byte_hi, fast_assign, make_src)
+        else:
+            self._rt.store_range(self.obj, byte_lo, byte_hi, fast_assign, None)
+
+    def _elem_span(self, key: object) -> tuple[int, int, bool]:
+        flat = int(np.ravel_multi_index(key, self.obj.shape)) if isinstance(key, tuple) else int(key)
+        b = flat * self.obj.dtype.itemsize
+        return b, b + self.obj.dtype.itemsize, True
+
+    def update(self, key: object, fn: Callable[[np.ndarray], None]) -> None:
+        """Apply an in-place operation ``fn(view)`` to the selected region,
+        recording it as a store (read-modify-write kernels: ``+=`` etc.)."""
+        view = self.obj.data[key]
+        if self._rt is None:
+            fn(view)
+            return
+        byte_lo, byte_hi, contiguous = self._span(view)
+
+        def fast_assign() -> None:
+            fn(view)
+
+        if contiguous:
+
+            def make_src() -> np.ndarray:
+                tmp = view.copy()
+                fn(tmp)
+                return tmp.reshape(-1).view(np.uint8)
+
+            self._rt.store_range(self.obj, byte_lo, byte_hi, fast_assign, make_src)
+        else:
+            self._rt.store_range(self.obj, byte_lo, byte_hi, fast_assign, None)
+
+    # -- gather / scatter ----------------------------------------------------------
+
+    def _blocks_of_flat(self, flat_idx: np.ndarray) -> np.ndarray:
+        byte_off = flat_idx.astype(np.int64) * self.obj.dtype.itemsize
+        return self.obj.base_block + byte_off // BLOCK_SIZE
+
+    def read_at(self, flat_idx: np.ndarray) -> np.ndarray:
+        """Gather elements by flat index (records one access per element's
+        block; atomic wrt crash points)."""
+        idx = np.asarray(flat_idx, dtype=np.int64)
+        if self._rt is not None:
+            self._rt.access_scattered(self.obj, self._blocks_of_flat(idx), write=False)
+        return self.obj.data.reshape(-1)[idx]
+
+    def write_at(
+        self, flat_idx: np.ndarray, values: np.ndarray, nontemporal: bool = False
+    ) -> None:
+        """Scatter elements by flat index (atomic wrt crash points).
+
+        With ``nontemporal=True`` the stores bypass the cache and land
+        directly in NVM, like x86 streaming stores (MOVNT).
+        """
+        idx = np.asarray(flat_idx, dtype=np.int64)
+        flat = self.obj.data.reshape(-1)
+        if self._rt is None:
+            flat[idx] = values
+            return
+        self._rt.access_scattered(
+            self.obj,
+            self._blocks_of_flat(idx),
+            write=True,
+            apply_op=lambda: flat.__setitem__(idx, values),
+            nontemporal=nontemporal,
+        )
+
+    # -- persistence ----------------------------------------------------------
+
+    def persist(self) -> None:
+        """Flush every cache block of this object (manual persistence op)."""
+        if self._rt is not None:
+            self._rt.persist_object(self.obj)
+
+
+class ManagedScalar:
+    """A single managed value (loop iterators, counters, tiny state)."""
+
+    __slots__ = ("arr",)
+
+    def __init__(self, obj: DataObject, runtime: CountingRuntime | None):
+        self.arr = ManagedArray(obj, runtime)
+
+    @property
+    def name(self) -> str:
+        return self.arr.name
+
+    def peek(self) -> object:
+        """Unrecorded read (architectural value)."""
+        return self.arr.np[0]
+
+    def get(self) -> object:
+        return self.arr.read(slice(0, 1))[0]
+
+    def set(self, value: object) -> None:
+        self.arr.write(slice(0, 1), value)
+
+    def persist(self) -> None:
+        self.arr.persist()
+
+
+class Workspace:
+    """Application-side facade over the heap, runtime and structure hooks.
+
+    All hooks degrade to no-ops without a runtime, so application code is
+    identical in instrumented, profiling and plain (restart) runs.
+    """
+
+    def __init__(self, runtime: CountingRuntime | None = None):
+        self.heap = PersistentHeap(
+            track_write_counts=bool(getattr(runtime, "track_write_counts", False))
+        )
+        self.runtime = runtime
+        if runtime is not None:
+            runtime.attach_heap(self.heap)
+
+    # -- allocation ----------------------------------------------------------
+
+    def array(
+        self,
+        name: str,
+        shape: tuple[int, ...] | int,
+        dtype: np.dtype | type = np.float64,
+        *,
+        candidate: bool = True,
+        readonly: bool = False,
+    ) -> ManagedArray:
+        obj = self.heap.allocate(
+            name, shape, dtype, candidate=candidate, readonly=readonly
+        )
+        return ManagedArray(obj, self.runtime)
+
+    def scalar(
+        self,
+        name: str,
+        init: object = 0,
+        dtype: np.dtype | type = np.int64,
+        *,
+        candidate: bool = True,
+        role: str = "data",
+    ) -> ManagedScalar:
+        obj = self.heap.allocate(
+            name, (1,), dtype, candidate=candidate and role == "data", role=role
+        )
+        obj.data[0] = init
+        return ManagedScalar(obj, self.runtime)
+
+    def iterator(self, name: str = "it", init: int = 0) -> ManagedScalar:
+        """The always-persisted loop iterator (paper footnote 3)."""
+        return self.scalar(name, init=init, role="iterator", candidate=False)
+
+    # -- structure hooks ----------------------------------------------------------
+
+    def main_loop_begin(self) -> None:
+        if self.runtime is not None:
+            self.runtime.main_loop_begin()
+
+    def main_loop_end(self) -> None:
+        if self.runtime is not None:
+            self.runtime.main_loop_end()
+
+    def begin_iteration(self, it: int) -> None:
+        if self.runtime is not None:
+            self.runtime.begin_iteration(it)
+
+    def end_iteration(self) -> None:
+        if self.runtime is not None:
+            self.runtime.end_iteration()
+
+    @contextmanager
+    def region(self, rid: str) -> Iterator[None]:
+        if self.runtime is not None:
+            self.runtime.region_begin(rid)
+        try:
+            yield
+        finally:
+            if self.runtime is not None:
+                self.runtime.region_end(rid)

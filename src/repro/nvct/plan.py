@@ -1,0 +1,89 @@
+"""Persistence plans: which objects to flush, where, and how often.
+
+A plan is the output of EasyCrash's offline analysis and the input to a
+production (or campaign) run.  The paper's strategies map to:
+
+* ``PersistencePlan.none()`` — no flushing beyond the loop iterator
+  (the paper always persists the iterator, footnote 3);
+* ``PersistencePlan.at_loop_end(objs)`` — flush the selected objects at
+  the end of every main-loop iteration ("selecting data objects");
+* ``PersistencePlan.per_region(objs, {region: freq})`` — flush at the end
+  of selected code regions, every ``freq``-th execution ("selecting code
+  regions", the full EasyCrash);
+* ``PersistencePlan.every_region(objs, regions)`` — flush at the end of
+  every region ("best recomputability", costly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PersistencePlan"]
+
+
+@dataclass(frozen=True)
+class PersistencePlan:
+    """Immutable description of when and what to persist."""
+
+    objects: tuple[str, ...] = ()
+    region_frequency: dict[str, int] = field(default_factory=dict)
+    at_iteration_end: bool = False
+    iteration_frequency: int = 1  # flush every x-th main-loop iteration
+    persist_iterator: bool = True
+    invalidate: bool = False  # CLFLUSH/CLFLUSHOPT (True) vs CLWB (False)
+
+    def __post_init__(self) -> None:
+        for rid, freq in self.region_frequency.items():
+            if freq < 1:
+                raise ValueError(f"region {rid!r}: frequency must be >= 1")
+        if self.iteration_frequency < 1:
+            raise ValueError("iteration_frequency must be >= 1")
+
+    @property
+    def is_active(self) -> bool:
+        return bool(self.objects) and (bool(self.region_frequency) or self.at_iteration_end)
+
+    def flushes_at(self, region: str, execution_count: int) -> bool:
+        """Whether this plan flushes at the end of the given region
+        execution (1-based execution count)."""
+        freq = self.region_frequency.get(region)
+        return freq is not None and execution_count % freq == 0
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def none(persist_iterator: bool = True) -> "PersistencePlan":
+        return PersistencePlan(persist_iterator=persist_iterator)
+
+    @staticmethod
+    def at_loop_end(
+        objects: tuple[str, ...] | list[str], frequency: int = 1
+    ) -> "PersistencePlan":
+        return PersistencePlan(
+            objects=tuple(objects),
+            at_iteration_end=True,
+            iteration_frequency=frequency,
+        )
+
+    @staticmethod
+    def per_region(
+        objects: tuple[str, ...] | list[str],
+        region_frequency: dict[str, int],
+        at_iteration_end: bool = False,
+        iteration_frequency: int = 1,
+    ) -> "PersistencePlan":
+        return PersistencePlan(
+            objects=tuple(objects),
+            region_frequency=dict(region_frequency),
+            at_iteration_end=at_iteration_end,
+            iteration_frequency=iteration_frequency,
+        )
+
+    @staticmethod
+    def every_region(
+        objects: tuple[str, ...] | list[str], regions: list[str]
+    ) -> "PersistencePlan":
+        return PersistencePlan(
+            objects=tuple(objects),
+            region_frequency={r: 1 for r in regions},
+        )

@@ -1,0 +1,438 @@
+"""Instrumented runtime: access counting, crash snapshots, plan execution.
+
+The runtime is the glue between applications (issuing loads/stores via
+managed arrays), the cache hierarchy, and the crash-test campaign:
+
+* every load/store advances a global *access counter* (one tick per cache
+  block touched), which is the axis along which crash points are drawn —
+  the paper's "stop after a randomly selected instruction" with a uniform
+  distribution;
+* when the counter crosses a scheduled crash point *inside* a bulk store,
+  the store is split at the exact block boundary: only the prefix is
+  applied to architectural state and simulated, then the NVM image is
+  snapshotted, then the remainder proceeds — so a snapshot is exactly the
+  machine state after a prefix of the access stream;
+* persistence plans are executed at region/iteration boundaries by
+  flushing the critical objects' cache blocks (CLWB/CLFLUSHOPT semantics).
+
+A single simulated execution therefore yields every crash test of a
+campaign (snapshots at all sorted crash points) plus the no-crash event
+counts used by the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.memsim.blocks import BLOCK_SIZE
+from repro.memsim.config import HierarchyConfig
+from repro.memsim.hierarchy import CacheHierarchy
+from repro.nvct.heap import DataObject, PersistentHeap
+from repro.nvct.plan import PersistencePlan
+
+__all__ = ["Snapshot", "PersistEvent", "Runtime", "CountingRuntime"]
+
+INIT_REGION = "__init__"
+MAIN_REGION = "__main__"  # main-loop code not inside an explicit region
+
+
+@dataclass
+class Snapshot:
+    """State captured at one crash point."""
+
+    index: int
+    counter: int
+    iteration: int
+    region: str
+    nvm_state: dict[str, np.ndarray]
+    rates: dict[str, float]
+    consistent_state: dict[str, np.ndarray] | None = None
+
+
+@dataclass
+class PersistEvent:
+    """One persistence operation (a group of cache-block flushes)."""
+
+    region: str
+    iteration: int
+    blocks_issued: int
+    dirty_written: int
+    clean_resident: int = 0  # flushed lines that were cached but clean
+
+
+@dataclass
+class RegionProfile:
+    """Per-region accounting collected during an instrumented run."""
+
+    accesses: int = 0
+    executions: int = 0
+
+
+@dataclass
+class ObjectProfile:
+    """Per-data-object access accounting (block granularity)."""
+
+    reads: int = 0
+    writes: int = 0
+    regions: set[str] = field(default_factory=set)
+
+    @property
+    def rw_ratio(self) -> float:
+        return self.reads / max(1, self.writes)
+
+
+class CountingRuntime:
+    """Minimal runtime: advances the access counter without cache
+    simulation.  Used for the fast profiling pass that measures the total
+    access count and the main-loop crash window."""
+
+    simulate = False
+    #: When set before the application allocates, the heap keeps per-block
+    #: NVM write counters for endurance analysis (repro.perf.endurance).
+    track_write_counts = False
+
+    def __init__(self) -> None:
+        self.counter = 0
+        self.window_begin: int | None = None
+        self.plan = PersistencePlan.none()
+        self.current_region = INIT_REGION
+        self.iteration = 0
+        self.region_profile: dict[str, RegionProfile] = {}
+        self.object_profile: dict[str, ObjectProfile] = {}
+
+    def _tick_object(self, obj: DataObject, nblocks: int, write: bool) -> None:
+        prof = self.object_profile.setdefault(obj.name, ObjectProfile())
+        if write:
+            prof.writes += nblocks
+        else:
+            prof.reads += nblocks
+        prof.regions.add(self.current_region)
+
+    # -- structure hooks -------------------------------------------------------
+
+    def attach_heap(self, heap: PersistentHeap) -> None:
+        self.heap = heap
+
+    def main_loop_begin(self) -> None:
+        if self.window_begin is None:
+            self.window_begin = self.counter
+        self.current_region = MAIN_REGION
+
+    def main_loop_end(self) -> None:
+        self.current_region = INIT_REGION
+
+    def begin_iteration(self, it: int) -> None:
+        self.iteration = it
+
+    def end_iteration(self) -> None:
+        pass
+
+    def region_begin(self, rid: str) -> None:
+        self.current_region = rid
+
+    def region_end(self, rid: str) -> None:
+        prof = self.region_profile.setdefault(rid, RegionProfile())
+        prof.executions += 1
+        self.current_region = MAIN_REGION
+
+    # -- access hooks ------------------------------------------------------------
+
+    def _tick(self, nblocks: int) -> None:
+        self.counter += nblocks
+        prof = self.region_profile.setdefault(self.current_region, RegionProfile())
+        prof.accesses += nblocks
+
+    def load_range(self, obj: DataObject, byte_lo: int, byte_hi: int) -> None:
+        b0, b1 = obj.block_range_of_bytes(byte_lo, byte_hi)
+        self._tick(b1 - b0)
+        self._tick_object(obj, b1 - b0, write=False)
+
+    def store_range(
+        self,
+        obj: DataObject,
+        byte_lo: int,
+        byte_hi: int,
+        fast_assign: Callable[[], None],
+        make_src: Callable[[], np.ndarray] | None,
+    ) -> None:
+        fast_assign()
+        b0, b1 = obj.block_range_of_bytes(byte_lo, byte_hi)
+        self._tick(b1 - b0)
+        self._tick_object(obj, b1 - b0, write=True)
+
+    def access_scattered(
+        self,
+        obj: DataObject,
+        blocks: np.ndarray,
+        write: bool,
+        apply_op: Callable[[], None] | None = None,
+        nontemporal: bool = False,
+    ) -> None:
+        if apply_op is not None:
+            apply_op()
+        self._tick(int(blocks.size))
+        self._tick_object(obj, int(blocks.size), write=write)
+
+    def persist_object(self, obj: DataObject) -> None:
+        pass
+
+
+class Runtime(CountingRuntime):
+    """Full instrumented runtime with cache simulation and crash snapshots."""
+
+    simulate = True
+
+    def __init__(
+        self,
+        hierarchy: HierarchyConfig | None = None,
+        plan: PersistencePlan | None = None,
+        crash_points: np.ndarray | list[int] | None = None,
+        capture_consistent: bool = False,
+    ) -> None:
+        super().__init__()
+        self.hierarchy_config = hierarchy or HierarchyConfig.scaled_llc()
+        self.plan = plan or PersistencePlan.none()
+        pts = np.unique(np.asarray(crash_points if crash_points is not None else [], dtype=np.int64))
+        self.crash_points = pts
+        self._cp_i = 0
+        self.capture_consistent = capture_consistent
+        self.snapshots: list[Snapshot] = []
+        self.persist_events: list[PersistEvent] = []
+        self.heap: PersistentHeap | None = None
+        self.hierarchy: CacheHierarchy | None = None
+        self._in_window = False
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_heap(self, heap: PersistentHeap) -> None:
+        self.heap = heap
+        self.hierarchy = CacheHierarchy(self.hierarchy_config, writeback_sink=heap.writeback_blocks)
+
+    def _require(self) -> tuple[PersistentHeap, CacheHierarchy]:
+        if self.heap is None or self.hierarchy is None:
+            raise RuntimeError("runtime has no attached heap (allocate via Workspace)")
+        return self.heap, self.hierarchy
+
+    # -- access primitives (overridden by MulticoreRuntime) -------------------
+
+    def _do_access(self, b0: int, b1: int, write: bool) -> None:
+        self.hierarchy.access(b0, b1, write)
+
+    def _do_access_blocks(self, blocks: np.ndarray, write: bool) -> None:
+        self.hierarchy.access_blocks(blocks, write)
+
+    def _do_nt_store(self, blocks: np.ndarray) -> None:
+        self.hierarchy.store_nontemporal(blocks)
+
+    def _do_flush(self, b0: int, b1: int, invalidate: bool) -> tuple[int, int]:
+        return self.hierarchy.flush(b0, b1, invalidate=invalidate)
+
+    # -- structure hooks --------------------------------------------------------
+
+    def main_loop_begin(self) -> None:
+        heap, _ = self._require()
+        if self.window_begin is None:
+            # Initialization data counts as persistent: a restart re-runs the
+            # init phase anyway before loading candidates from NVM.
+            for obj in heap.objects.values():
+                obj.sync_nvm()
+            self.window_begin = self.counter
+        self._in_window = True
+        self.current_region = MAIN_REGION
+
+    def main_loop_end(self) -> None:
+        self._in_window = False
+        self.current_region = INIT_REGION
+
+    def end_iteration(self) -> None:
+        """Called after the iterator store at the end of each main-loop
+        iteration; executes iteration-granularity plan flushes."""
+        heap, _ = self._require()
+        self._iterations_seen = getattr(self, "_iterations_seen", 0) + 1
+        if (
+            self.plan.at_iteration_end
+            and self.plan.objects
+            and self._iterations_seen % self.plan.iteration_frequency == 0
+        ):
+            self._persist_named(self.plan.objects)
+        if self.plan.persist_iterator:
+            it_obj = heap.iterator_object()
+            if it_obj is not None:
+                self.persist_object(it_obj)
+
+    def region_end(self, rid: str) -> None:
+        prof = self.region_profile.setdefault(rid, RegionProfile())
+        prof.executions += 1
+        if self.plan.flushes_at(rid, prof.executions) and self.plan.objects:
+            self._persist_named(self.plan.objects)
+        self.current_region = MAIN_REGION
+
+    # -- persistence --------------------------------------------------------------
+
+    def _persist_named(self, names: tuple[str, ...]) -> None:
+        heap, hier = self._require()
+        issued = 0
+        dirty = 0
+        clean_before = hier.llc.stats.flush_clean_hits
+        for name in names:
+            obj = heap.objects[name]
+            i, d = self._do_flush(obj.base_block, obj.end_block, self.plan.invalidate)
+            issued += i
+            dirty += d
+        clean = hier.llc.stats.flush_clean_hits - clean_before
+        self.persist_events.append(
+            PersistEvent(self.current_region, self.iteration, issued, dirty, clean)
+        )
+
+    def persist_object(self, obj: DataObject) -> None:
+        _, hier = self._require()
+        self._do_flush(obj.base_block, obj.end_block, self.plan.invalidate)
+
+    # -- crash machinery -------------------------------------------------------------
+
+    def _next_cp(self) -> int | None:
+        if self._cp_i < self.crash_points.size:
+            return int(self.crash_points[self._cp_i])
+        return None
+
+    def _take_snapshot(self) -> None:
+        heap, _ = self._require()
+        snap = Snapshot(
+            index=len(self.snapshots),
+            counter=self.counter,
+            iteration=self.iteration,
+            region=self.current_region,
+            nvm_state=heap.snapshot_nvm(),
+            rates=heap.inconsistent_rates(),
+            consistent_state=heap.snapshot_consistent() if self.capture_consistent else None,
+        )
+        self.snapshots.append(snap)
+        self._cp_i += 1
+
+    def _tick_region(self, nblocks: int) -> None:
+        prof = self.region_profile.setdefault(self.current_region, RegionProfile())
+        prof.accesses += nblocks
+
+    # -- access hooks -------------------------------------------------------------
+
+    def load_range(self, obj: DataObject, byte_lo: int, byte_hi: int) -> None:
+        _, hier = self._require()
+        b0, b1 = obj.block_range_of_bytes(byte_lo, byte_hi)
+        self._tick_region(b1 - b0)
+        self._tick_object(obj, b1 - b0, write=False)
+        while b0 < b1:
+            cp = self._next_cp()
+            if cp is None or cp > self.counter + (b1 - b0):
+                self._do_access(b0, b1, write=False)
+                self.counter += b1 - b0
+                return
+            k = cp - self.counter
+            self._do_access(b0, b0 + k, write=False)
+            self.counter = cp
+            b0 += k
+            self._take_snapshot()
+
+    def store_range(
+        self,
+        obj: DataObject,
+        byte_lo: int,
+        byte_hi: int,
+        fast_assign: Callable[[], None],
+        make_src: Callable[[], np.ndarray] | None,
+    ) -> None:
+        """Bulk store of a contiguous byte range of one object.
+
+        ``fast_assign`` performs the whole assignment; ``make_src``
+        materializes the stored bytes so the store can be applied
+        *incrementally* when a crash point splits it (keeping the invariant
+        that architectural state never contains values from stores that did
+        not execute).  ``make_src=None`` marks a non-contiguous store that
+        must be treated atomically: a crash inside it fires just before it.
+        """
+        _, hier = self._require()
+        b0, b1 = obj.block_range_of_bytes(byte_lo, byte_hi)
+        n = b1 - b0
+        self._tick_region(n)
+        self._tick_object(obj, n, write=True)
+        cp = self._next_cp()
+        if cp is None or cp > self.counter + n:
+            fast_assign()
+            if n:
+                self._do_access(b0, b1, write=True)
+            self.counter += n
+            return
+        if make_src is None:
+            # Atomic store: crash lands at the op boundary (before it).
+            end = self.counter + n
+            while (cp := self._next_cp()) is not None and cp <= end:
+                self.counter = cp  # clamp to the point for bookkeeping
+                self._take_snapshot()
+            fast_assign()
+            if n:
+                self._do_access(b0, b1, write=True)
+            self.counter = end
+            return
+        src = np.asarray(make_src(), dtype=np.uint8)
+        base_byte = obj.base_byte
+        pos = byte_lo  # object-relative byte cursor
+        while pos < byte_hi:
+            cp = self._next_cp()
+            remaining_blocks = obj.block_range_of_bytes(pos, byte_hi)
+            rb0, rb1 = remaining_blocks
+            if cp is None or cp > self.counter + (rb1 - rb0):
+                cut = byte_hi
+                blocks_done = rb1 - rb0
+            else:
+                k = cp - self.counter
+                # Byte boundary of the k-th touched block (object-relative).
+                cut = min(byte_hi, (rb0 + k) * BLOCK_SIZE - base_byte)
+                blocks_done = k
+            obj.data_bytes[pos:cut] = src[pos - byte_lo : cut - byte_lo]
+            if blocks_done:
+                self._do_access(rb0, rb0 + blocks_done, write=True)
+            self.counter += blocks_done
+            pos = cut
+            if cp is not None and self.counter == cp:
+                self._take_snapshot()
+
+    def access_scattered(
+        self,
+        obj: DataObject,
+        blocks: np.ndarray,
+        write: bool,
+        apply_op: Callable[[], None] | None = None,
+        nontemporal: bool = False,
+    ) -> None:
+        """Gather/scatter access over arbitrary blocks (atomic wrt crashes:
+        a crash point inside the op fires just before the op's effects).
+
+        ``nontemporal`` stores bypass the cache and land directly in NVM
+        (MOVNT semantics) — only meaningful with ``write=True``.
+        """
+        _, hier = self._require()
+        n = int(blocks.size)
+        self._tick_region(n)
+        self._tick_object(obj, n, write=write)
+        end = self.counter + n
+        while (cp := self._next_cp()) is not None and cp <= end:
+            self.counter = cp
+            self._take_snapshot()
+        if apply_op is not None:
+            apply_op()
+        if n:
+            if nontemporal and write:
+                self._do_nt_store(blocks)
+            else:
+                self._do_access_blocks(blocks, write)
+        self.counter = end
+
+    # -- end-of-run ---------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Called after a completed run; remaining scheduled crash points
+        (if any) fire at the final counter value."""
+        while self._next_cp() is not None:
+            self._take_snapshot()

@@ -1,0 +1,141 @@
+"""Campaign (de)serialization.
+
+NVCT's postmortem workflow dumps analysis data to files; this module
+round-trips :class:`~repro.nvct.campaign.CampaignResult` through JSON so
+campaigns can be archived, diffed across runs, and analyzed offline
+(``python -m repro campaign APP --save results.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.memsim.stats import CacheStats, MemoryStats
+from repro.nvct.campaign import CampaignResult, CrashTestRecord, Response, RunStats
+from repro.nvct.plan import PersistencePlan
+from repro.nvct.runtime import ObjectProfile, PersistEvent, RegionProfile
+
+__all__ = ["save_campaign", "load_campaign"]
+
+FORMAT_VERSION = 1
+
+
+def _plan_to_dict(plan: PersistencePlan) -> dict:
+    return {
+        "objects": list(plan.objects),
+        "region_frequency": dict(plan.region_frequency),
+        "at_iteration_end": plan.at_iteration_end,
+        "iteration_frequency": plan.iteration_frequency,
+        "persist_iterator": plan.persist_iterator,
+        "invalidate": plan.invalidate,
+    }
+
+
+def _plan_from_dict(d: dict) -> PersistencePlan:
+    return PersistencePlan(
+        objects=tuple(d["objects"]),
+        region_frequency={k: int(v) for k, v in d["region_frequency"].items()},
+        at_iteration_end=bool(d["at_iteration_end"]),
+        iteration_frequency=int(d.get("iteration_frequency", 1)),
+        persist_iterator=bool(d["persist_iterator"]),
+        invalidate=bool(d["invalidate"]),
+    )
+
+
+def _memory_to_dict(m: MemoryStats) -> dict:
+    return {
+        "nvm_writes": m.nvm_writes,
+        "nvm_writes_from_evictions": m.nvm_writes_from_evictions,
+        "nvm_writes_from_flushes": m.nvm_writes_from_flushes,
+        "nvm_writes_from_drain": m.nvm_writes_from_drain,
+        "nvm_writes_from_nt": m.nvm_writes_from_nt,
+        "nvm_fills": m.nvm_fills,
+        "per_level": {name: cs.as_dict() for name, cs in m.per_level.items()},
+    }
+
+
+def _memory_from_dict(d: dict) -> MemoryStats:
+    m = MemoryStats(
+        nvm_writes=int(d["nvm_writes"]),
+        nvm_writes_from_evictions=int(d["nvm_writes_from_evictions"]),
+        nvm_writes_from_flushes=int(d["nvm_writes_from_flushes"]),
+        nvm_writes_from_drain=int(d.get("nvm_writes_from_drain", 0)),
+        nvm_writes_from_nt=int(d.get("nvm_writes_from_nt", 0)),
+        nvm_fills=int(d["nvm_fills"]),
+    )
+    m.per_level = {name: CacheStats(**cs) for name, cs in d["per_level"].items()}
+    return m
+
+
+def save_campaign(result: CampaignResult, path: str | Path) -> Path:
+    """Serialize a campaign to a JSON file; returns the path written."""
+    doc = {
+        "format": FORMAT_VERSION,
+        "app": result.app,
+        "golden_iterations": result.golden_iterations,
+        "plan": _plan_to_dict(result.plan),
+        "records": [
+            {
+                "counter": r.counter,
+                "iteration": r.iteration,
+                "region": r.region,
+                "rates": {k: float(v) for k, v in r.rates.items()},
+                "response": r.response.name,
+                "extra_iterations": r.extra_iterations,
+            }
+            for r in result.records
+        ],
+        "run_stats": {
+            "memory": _memory_to_dict(result.run_stats.memory),
+            "region_profile": {
+                k: {"accesses": p.accesses, "executions": p.executions}
+                for k, p in result.run_stats.region_profile.items()
+            },
+            "persist_events": [asdict(e) for e in result.run_stats.persist_events],
+            "total_accesses": result.run_stats.total_accesses,
+            "window_begin": result.run_stats.window_begin,
+            "iterations": result.run_stats.iterations,
+        },
+    }
+    target = Path(path)
+    target.write_text(json.dumps(doc, indent=1))
+    return target
+
+
+def load_campaign(path: str | Path) -> CampaignResult:
+    """Load a campaign previously written by :func:`save_campaign`."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported campaign format: {doc.get('format')!r}")
+    records = [
+        CrashTestRecord(
+            counter=int(r["counter"]),
+            iteration=int(r["iteration"]),
+            region=r["region"],
+            rates={k: float(v) for k, v in r["rates"].items()},
+            response=Response[r["response"]],
+            extra_iterations=int(r["extra_iterations"]),
+        )
+        for r in doc["records"]
+    ]
+    rs = doc["run_stats"]
+    run_stats = RunStats(
+        memory=_memory_from_dict(rs["memory"]),
+        region_profile={
+            k: RegionProfile(accesses=int(p["accesses"]), executions=int(p["executions"]))
+            for k, p in rs["region_profile"].items()
+        },
+        persist_events=[PersistEvent(**e) for e in rs["persist_events"]],
+        total_accesses=int(rs["total_accesses"]),
+        window_begin=int(rs["window_begin"]),
+        iterations=int(rs["iterations"]),
+    )
+    return CampaignResult(
+        app=doc["app"],
+        plan=_plan_from_dict(doc["plan"]),
+        records=records,
+        run_stats=run_stats,
+        golden_iterations=int(doc["golden_iterations"]),
+    )

@@ -1,0 +1,9 @@
+"""Performance modeling: NVM device configurations and the event-count
+cost model that converts simulator statistics into (normalized) execution
+times — the substitute for the paper's Quartz-based NVM emulation and
+Optane DC PMM measurements (Table 4, Figs. 7-8)."""
+
+from repro.perf.nvmconfigs import NVMConfig, NVM_CONFIGS
+from repro.perf.costmodel import CostModel, RunCost
+
+__all__ = ["NVMConfig", "NVM_CONFIGS", "CostModel", "RunCost"]

@@ -1,0 +1,85 @@
+"""NVM write-endurance analysis (extension).
+
+The paper's motivation for minimizing NVM writes is device endurance:
+PCM-class cells tolerate ~1e8 writes, seven orders of magnitude fewer
+than DRAM.  Aggregate write counts (Fig. 9) hide *where* the writes land;
+lifetime is governed by the hottest line unless wear leveling spreads it.
+This module analyzes the per-block write histogram collected by the
+persistent heap and estimates device lifetime with and without ideal wear
+leveling (Start-Gap-style, as in Qureshi et al., cited by the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nvct.heap import PersistentHeap
+
+__all__ = ["WearProfile", "analyze_wear"]
+
+PCM_CELL_ENDURANCE = 1e8  # writes per cell, PCM-class (paper Sec. 1)
+
+
+@dataclass(frozen=True)
+class WearProfile:
+    """Per-block wear statistics of one run."""
+
+    total_writes: int
+    blocks_written: int
+    total_blocks: int
+    max_block_writes: int
+    mean_block_writes: float
+    hotspot_ratio: float  # max / mean over written blocks
+    gini: float  # wear imbalance in [0, 1)
+
+    def lifetime_scale(self, cell_endurance: float = PCM_CELL_ENDURANCE) -> float:
+        """Device lifetime in units of 'this run repeated N times', limited
+        by the hottest block (no wear leveling)."""
+        if self.max_block_writes == 0:
+            return float("inf")
+        return cell_endurance / self.max_block_writes
+
+    def lifetime_scale_leveled(self, cell_endurance: float = PCM_CELL_ENDURANCE) -> float:
+        """Lifetime with ideal wear leveling (writes spread uniformly over
+        the whole device range)."""
+        if self.total_writes == 0:
+            return float("inf")
+        return cell_endurance * self.total_blocks / self.total_writes
+
+    def leveling_gain(self) -> float:
+        """How much ideal wear leveling extends lifetime for this pattern."""
+        if self.max_block_writes == 0:
+            return 1.0
+        return self.lifetime_scale_leveled() / self.lifetime_scale()
+
+
+def _gini(counts: np.ndarray) -> float:
+    """Gini coefficient of the write distribution over written blocks."""
+    if counts.size == 0:
+        return 0.0
+    sorted_counts = np.sort(counts.astype(float))
+    n = sorted_counts.size
+    total = sorted_counts.sum()
+    if total == 0:
+        return 0.0
+    cum = np.cumsum(sorted_counts)
+    return float((n + 1 - 2 * (cum / total).sum()) / n)
+
+
+def analyze_wear(heap: PersistentHeap) -> WearProfile:
+    """Analyze the heap's per-block write counters (requires a heap
+    created with ``track_write_counts=True``)."""
+    counts = heap.write_counts()
+    written = counts[counts > 0]
+    total = int(counts.sum())
+    return WearProfile(
+        total_writes=total,
+        blocks_written=int(written.size),
+        total_blocks=int(counts.size),
+        max_block_writes=int(counts.max()) if counts.size else 0,
+        mean_block_writes=float(written.mean()) if written.size else 0.0,
+        hotspot_ratio=float(counts.max() / written.mean()) if written.size else 0.0,
+        gini=_gini(written),
+    )

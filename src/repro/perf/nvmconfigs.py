@@ -1,0 +1,51 @@
+"""NVM device configurations (the paper's Quartz emulation points).
+
+Each configuration scales three per-block costs relative to DRAM:
+
+* ``fill_mult`` — demand fills (read latency-bound);
+* ``writeback_mult`` — background dirty write-backs (bandwidth-bound);
+* ``flush_mult`` — synchronous cache-line flushes, which wait for write
+  completion and are therefore *latency*-bound.  This is why the paper's
+  persist-everything baseline suffers most on the 4x/8x-latency points
+  (48%/62% overhead) and less on the bandwidth-limited ones (21%/22%).
+
+The latency points model 4x/8x DRAM latency; the bandwidth points model
+1/6 and 1/8 DRAM bandwidth; OPTANE approximates Intel Optane DC PMM
+(~3x read latency, ~1/6 write bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NVMConfig", "NVM_CONFIGS"]
+
+
+@dataclass(frozen=True)
+class NVMConfig:
+    """Cost multipliers of an NVM device relative to DRAM."""
+
+    name: str
+    fill_mult: float
+    writeback_mult: float
+    flush_mult: float
+
+    def __post_init__(self) -> None:
+        if min(self.fill_mult, self.writeback_mult, self.flush_mult) <= 0:
+            raise ValueError("multipliers must be positive")
+
+
+# Consistency constraint: a dirty-line flush performs the same write a
+# later eviction would, plus synchronous latency exposure — so flush_mult
+# >= writeback_mult on every configuration (otherwise the model would
+# reward flushing as a cost optimization, which real hardware does not).
+DRAM = NVMConfig("DRAM", 1.0, 1.0, 1.0)
+LAT4X = NVMConfig("4x latency", 4.0, 1.2, 4.0)
+LAT8X = NVMConfig("8x latency", 8.0, 1.4, 8.0)
+BW1_6 = NVMConfig("1/6 bandwidth", 2.5, 2.5, 2.5)
+BW1_8 = NVMConfig("1/8 bandwidth", 3.2, 3.2, 3.2)
+OPTANE = NVMConfig("Optane DC PMM", 3.0, 2.5, 3.5)
+
+NVM_CONFIGS: dict[str, NVMConfig] = {
+    c.name: c for c in (DRAM, LAT4X, LAT8X, BW1_6, BW1_8, OPTANE)
+}

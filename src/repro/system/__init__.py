@@ -1,0 +1,25 @@
+"""End-to-end system-efficiency emulation (paper Sec. 7).
+
+Analytic model of a large-scale machine running a long job under
+synchronous coordinated checkpoint/restart, with and without EasyCrash:
+Young's checkpoint interval, Eq. 6-9's time accounting, MTBF scaling with
+machine size, and the recomputability threshold τ.
+"""
+
+from repro.system.efficiency import (
+    SystemParams,
+    efficiency_baseline,
+    efficiency_easycrash,
+    efficiency_improvement,
+    recomputability_threshold,
+)
+from repro.system.mtbf import mtbf_for_nodes
+
+__all__ = [
+    "SystemParams",
+    "efficiency_baseline",
+    "efficiency_easycrash",
+    "efficiency_improvement",
+    "recomputability_threshold",
+    "mtbf_for_nodes",
+]

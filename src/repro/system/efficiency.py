@@ -1,0 +1,164 @@
+"""System-efficiency model (paper Sec. 7, Eqs. 6-9).
+
+Notation follows the paper.  The total system time is fixed (10 years in
+the evaluation); the model solves for the number of checkpoints ``N`` and
+reports efficiency = useful computation / total time.
+
+Without EasyCrash (Eq. 6)::
+
+    Total = N (T + T_chk) + M (T_vain + T_r + T_sync),  M = Total / MTBF
+
+with Young's interval ``T = sqrt(2 T_chk MTBF)``, ``T_vain = T/2``,
+``T_r = T_chk`` and ``T_sync = 0.5 T_chk``.
+
+With EasyCrash (Eqs. 8-9), a fraction ``R`` of the ``M`` crashes restart
+from NVM at cost ``T_r' + T_sync`` (T_r' is the time to reload data
+objects from NVM-resident memory — seconds, not minutes) and lose no
+computed work; the rest roll back to the last checkpoint.  The checkpoint
+interval stretches to ``T' = sqrt(2 T_chk MTBF/(1-R))`` and the useful
+computation carries EasyCrash's runtime overhead ``ts``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "SystemParams",
+    "efficiency_baseline",
+    "efficiency_easycrash",
+    "efficiency_improvement",
+    "recomputability_threshold",
+]
+
+YEAR = 365.0 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Machine/application parameters of the Sec. 7 emulation."""
+
+    mtbf_s: float
+    t_chk_s: float
+    total_time_s: float = 10 * YEAR
+    sync_fraction: float = 0.5  # T_sync = fraction * T_chk (Fang et al.)
+    t_r_nvm_s: float = 2.0  # EasyCrash reload from NVM (T_r')
+
+    def __post_init__(self) -> None:
+        if min(self.mtbf_s, self.t_chk_s, self.total_time_s) <= 0:
+            raise ValueError("times must be positive")
+
+    @property
+    def t_sync(self) -> float:
+        return self.sync_fraction * self.t_chk_s
+
+    @property
+    def t_restore(self) -> float:
+        return self.t_chk_s  # paper: T_r = T_chk
+
+    def young_interval(self, mtbf: float | None = None) -> float:
+        """Young's optimum checkpoint interval, capped by the total time."""
+        t = math.sqrt(2.0 * self.t_chk_s * (mtbf or self.mtbf_s))
+        return min(t, self.total_time_s)
+
+
+def efficiency_baseline(p: SystemParams) -> float:
+    """Eq. 6: efficiency of C/R without EasyCrash."""
+    t = p.young_interval()
+    m = p.total_time_s / p.mtbf_s
+    recovery = m * (t / 2.0 + p.t_restore + p.t_sync)
+    n = (p.total_time_s - recovery) / (t + p.t_chk_s)
+    useful = max(0.0, n * t)
+    return min(1.0, useful / p.total_time_s)
+
+
+def efficiency_easycrash(p: SystemParams, recomputability: float, ts: float) -> float:
+    """Eqs. 8-9: efficiency with EasyCrash at the given recomputability
+    ``R`` and runtime overhead ``ts``."""
+    if not 0.0 <= recomputability < 1.0:
+        if recomputability >= 1.0:
+            recomputability = 1.0 - 1e-9
+        else:
+            raise ValueError("recomputability must be in [0, 1)")
+    if not 0.0 <= ts < 1.0:
+        raise ValueError("ts must be in [0, 1)")
+    mtbf_ec = p.mtbf_s / (1.0 - recomputability)
+    t_prime = p.young_interval(mtbf_ec)
+    m = p.total_time_s / p.mtbf_s
+    m_rollback = m * (1.0 - recomputability)
+    m_recompute = m * recomputability
+    recovery = m_rollback * (t_prime / 2.0 + p.t_restore + p.t_sync)
+    recovery += m_recompute * (p.t_r_nvm_s + p.t_sync)
+    n = (p.total_time_s - recovery) / (t_prime + p.t_chk_s)
+    useful = max(0.0, n * t_prime) * (1.0 - ts)
+    return min(1.0, useful / p.total_time_s)
+
+
+def efficiency_improvement(p: SystemParams, recomputability: float, ts: float) -> float:
+    """Absolute efficiency gain of EasyCrash over plain C/R."""
+    return efficiency_easycrash(p, recomputability, ts) - efficiency_baseline(p)
+
+
+def efficiency_at_interval(p: SystemParams, interval_s: float) -> float:
+    """Baseline efficiency with an arbitrary checkpoint interval (not
+    necessarily Young's), for interval-optimality studies."""
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    t = min(interval_s, p.total_time_s)
+    m = p.total_time_s / p.mtbf_s
+    recovery = m * (t / 2.0 + p.t_restore + p.t_sync)
+    n = (p.total_time_s - recovery) / (t + p.t_chk_s)
+    return min(1.0, max(0.0, n * t) / p.total_time_s)
+
+
+def optimal_interval(p: SystemParams, tol: float = 1e-3) -> float:
+    """The exactly optimal checkpoint interval by golden-section search.
+
+    The paper relies on El-Sayed & Schroeder's observation that Young's
+    first-order interval performs nearly identically; this lets tests and
+    ablations verify that claim inside the model.
+    """
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    lo = max(1.0, p.t_chk_s * 1e-3)
+    hi = p.total_time_s / 2.0
+    # Work in log-space: the efficiency curve is unimodal in log(T).
+    llo, lhi = math.log(lo), math.log(hi)
+    while lhi - llo > tol:
+        a = lhi - phi * (lhi - llo)
+        b = llo + phi * (lhi - llo)
+        if efficiency_at_interval(p, math.exp(a)) < efficiency_at_interval(p, math.exp(b)):
+            llo = a
+        else:
+            lhi = b
+    return math.exp(0.5 * (llo + lhi))
+
+
+def recomputability_threshold(
+    p: SystemParams, ts: float, tol: float = 1e-4
+) -> float:
+    """τ: the minimum recomputability at which EasyCrash beats plain C/R
+    (Sec. 7, "Determination of recomputability threshold"), by bisection.
+
+    Returns 1.0 when no recomputability below 1 suffices (EasyCrash cannot
+    help at this overhead), and 0.0 when it always helps.
+    """
+    base = efficiency_baseline(p)
+    if efficiency_easycrash(p, 0.0, ts) > base:
+        return 0.0
+    hi_val = efficiency_easycrash(p, 1.0 - 1e-9, ts)
+    if hi_val <= base:
+        return 1.0
+    lo, hi = 0.0, 1.0 - 1e-9
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if efficiency_easycrash(p, mid, ts) > base:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def with_mtbf(p: SystemParams, mtbf_s: float) -> SystemParams:
+    """Convenience: the same scenario at a different MTBF."""
+    return replace(p, mtbf_s=mtbf_s)

@@ -1,0 +1,21 @@
+"""System MTBF scaling.
+
+The paper anchors on Blue Waters-scale measurements (Martino et al.):
+~2 failures/day at 100,000 nodes (MTBF = 12 h), and scales inversely with
+node count (Fang et al.) — 6 h at 200k nodes, 3 h at 400k.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mtbf_for_nodes", "HOUR"]
+
+HOUR = 3600.0
+_REFERENCE_NODES = 100_000
+_REFERENCE_MTBF_S = 12 * HOUR
+
+
+def mtbf_for_nodes(nodes: int) -> float:
+    """System MTBF in seconds for a machine of ``nodes`` nodes."""
+    if nodes <= 0:
+        raise ValueError("node count must be positive")
+    return _REFERENCE_MTBF_S * _REFERENCE_NODES / nodes

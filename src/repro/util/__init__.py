@@ -1,0 +1,17 @@
+"""Shared utilities: deterministic RNG, rank statistics, knapsack solvers,
+and plain-text table rendering used by the experiment harness."""
+
+from repro.util.rng import derive_rng, derive_seed
+from repro.util.stats import SpearmanResult, spearman
+from repro.util.knapsack import knapsack_01, knapsack_multiple_choice
+from repro.util.tables import render_table
+
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "SpearmanResult",
+    "spearman",
+    "knapsack_01",
+    "knapsack_multiple_choice",
+    "render_table",
+]

@@ -1,0 +1,133 @@
+"""Knapsack solvers for EasyCrash's code-region selection (Sec. 5.2).
+
+The paper casts region selection as a 0-1 knapsack: item weight is the
+runtime performance loss of persisting at a region, item value is the
+recomputability gained, and capacity is the user overhead bound ``ts``.
+With per-loop flush frequencies (Eq. 5) each region contributes a *group*
+of mutually exclusive options, i.e. a multiple-choice knapsack.  Both are
+solved exactly by dynamic programming over discretized weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KnapsackSolution", "knapsack_01", "knapsack_multiple_choice"]
+
+
+@dataclass(frozen=True)
+class KnapsackSolution:
+    """Result of a knapsack DP: chosen items, total value and weight."""
+
+    value: float
+    weight: float
+    chosen: tuple[int, ...]
+
+
+def _discretize(weights: list[float], capacity: float, resolution: int) -> tuple[list[int], int]:
+    """Map float weights to integer grid units, rounding weights *up* so the
+    float capacity constraint can never be violated by rounding."""
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    if resolution < 1:
+        raise ValueError("resolution must be >= 1")
+    if capacity == 0:
+        return [0 if w <= 0 else resolution + 1 for w in weights], 0
+    scale = resolution / capacity
+    grid = []
+    for w in weights:
+        if w <= 0:
+            grid.append(0)
+            continue
+        g = w * scale
+        # Overweight or numerically degenerate (subnormal capacity): unfit.
+        grid.append(int(np.ceil(g - 1e-12)) if np.isfinite(g) and g <= resolution else resolution + 1)
+    return grid, resolution
+
+
+def knapsack_01(
+    values: list[float],
+    weights: list[float],
+    capacity: float,
+    resolution: int = 1000,
+) -> KnapsackSolution:
+    """Exact 0-1 knapsack via DP over a discretized weight grid.
+
+    ``resolution`` sets the grid granularity: weights are scaled so the
+    capacity maps to ``resolution`` units and rounded up (conservative).
+    """
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    n = len(values)
+    grid, cap = _discretize(list(weights), capacity, resolution)
+    # dp[w] = best value at weight exactly <= w ; keep parent pointers.
+    dp = np.zeros(cap + 1, dtype=float)
+    take = np.zeros((n, cap + 1), dtype=bool)
+    for i in range(n):
+        w, v = grid[i], values[i]
+        if w > cap or v <= 0:
+            continue
+        cand = dp[: cap + 1 - w] + v
+        region = dp[w:]
+        better = cand > region + 1e-15
+        region[better] = cand[better]
+        take[i, w:][better] = True
+    best_w = int(np.argmax(dp))
+    chosen: list[int] = []
+    w = best_w
+    for i in range(n - 1, -1, -1):
+        if take[i, w]:
+            chosen.append(i)
+            w -= grid[i]
+    chosen.reverse()
+    total_w = float(sum(weights[i] for i in chosen))
+    total_v = float(sum(values[i] for i in chosen))
+    return KnapsackSolution(total_v, total_w, tuple(chosen))
+
+
+def knapsack_multiple_choice(
+    groups: list[list[tuple[float, float]]],
+    capacity: float,
+    resolution: int = 1000,
+) -> KnapsackSolution:
+    """Multiple-choice knapsack: pick at most one ``(value, weight)`` option
+    per group, maximizing total value subject to the weight capacity.
+
+    Returns ``chosen`` as a tuple of option indices per group (-1 = skip).
+    """
+    flat_weights = [w for g in groups for (_, w) in g]
+    grid_all, cap = _discretize(flat_weights, capacity, resolution)
+    grids: list[list[int]] = []
+    pos = 0
+    for g in groups:
+        grids.append(grid_all[pos : pos + len(g)])
+        pos += len(g)
+
+    neg_inf = -np.inf
+    dp = np.zeros(cap + 1, dtype=float)
+    choice = np.full((len(groups), cap + 1), -1, dtype=np.int32)
+    for gi, g in enumerate(groups):
+        new_dp = dp.copy()  # option: skip the group
+        for oi, (v, _w) in enumerate(g):
+            w = grids[gi][oi]
+            if w > cap:
+                continue
+            cand = np.full(cap + 1, neg_inf)
+            cand[w:] = dp[: cap + 1 - w] + v
+            better = cand > new_dp + 1e-15
+            new_dp[better] = cand[better]
+            choice[gi, better] = oi
+        dp = new_dp
+    best_w = int(np.argmax(dp))
+    chosen = [-1] * len(groups)
+    w = best_w
+    for gi in range(len(groups) - 1, -1, -1):
+        oi = int(choice[gi, w])
+        chosen[gi] = oi
+        if oi >= 0:
+            w -= grids[gi][oi]
+    total_v = float(sum(groups[gi][oi][0] for gi, oi in enumerate(chosen) if oi >= 0))
+    total_w = float(sum(groups[gi][oi][1] for gi, oi in enumerate(chosen) if oi >= 0))
+    return KnapsackSolution(total_v, total_w, tuple(chosen))

@@ -1,0 +1,161 @@
+"""Rank statistics used by EasyCrash's data-object selection.
+
+The paper selects critical data objects with Spearman's rank correlation
+between each object's data-inconsistent rate and the recomputation outcome
+across a crash-test campaign (Sec. 5.1).  We implement the tie-corrected
+coefficient and its two-sided p-value (t approximation) from first
+principles; the test suite cross-checks against ``scipy.stats.spearmanr``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SpearmanResult", "spearman", "rankdata_average"]
+
+
+def rankdata_average(values: np.ndarray) -> np.ndarray:
+    """Rank data (1-based) with ties assigned the average of their ranks.
+
+    Equivalent to ``scipy.stats.rankdata(values, method="average")``.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("rankdata_average expects a 1-D array")
+    n = values.size
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(n, dtype=float)
+    ranks[order] = np.arange(1, n + 1, dtype=float)
+    # Average ranks within tie groups.
+    sorted_vals = values[order]
+    # Boundaries of runs of equal values.
+    boundary = np.flatnonzero(np.diff(sorted_vals) != 0) + 1
+    starts = np.concatenate(([0], boundary))
+    ends = np.concatenate((boundary, [n]))
+    for lo, hi in zip(starts, ends):
+        if hi - lo > 1:
+            ranks[order[lo:hi]] = 0.5 * (lo + 1 + hi)
+    return ranks
+
+
+@dataclass(frozen=True)
+class SpearmanResult:
+    """Spearman rank correlation coefficient and its two-sided p-value."""
+
+    rho: float
+    pvalue: float
+    n: int
+
+    def significant(self, alpha: float = 0.01) -> bool:
+        """True when the correlation is statistically significant."""
+        return not math.isnan(self.rho) and self.pvalue < alpha
+
+
+def _student_t_sf(t: float, df: float) -> float:
+    """Survival function of Student's t via the regularized incomplete beta.
+
+    ``P(T > t)`` for ``t >= 0``; symmetric otherwise.
+    """
+    if df <= 0:
+        return float("nan")
+    if math.isinf(t):
+        return 0.0 if t > 0 else 1.0
+    x = df / (df + t * t)
+    # I_x(df/2, 1/2) = P(|T| > |t|); use the regularized incomplete beta
+    # through scipy when available, else a continued-fraction fallback.
+    try:
+        from scipy.special import betainc
+
+        p_two_sided = float(betainc(df / 2.0, 0.5, x))
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        p_two_sided = _betainc_cf(df / 2.0, 0.5, x)
+    half = 0.5 * p_two_sided
+    return half if t >= 0 else 1.0 - half
+
+
+def _betainc_cf(a: float, b: float, x: float, max_iter: int = 200) -> float:
+    """Regularized incomplete beta by Lentz's continued fraction."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x, max_iter) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x, max_iter) / b
+
+
+def _betacf(a: float, b: float, x: float, max_iter: int) -> float:
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iter + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-12:
+            break
+    return h
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> SpearmanResult:
+    """Spearman rank correlation with a two-sided t-approximation p-value.
+
+    Returns ``rho = nan, p = 1`` when either input is constant (the
+    correlation is undefined; such objects are never selected as critical).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("spearman expects two equal-length 1-D arrays")
+    n = x.size
+    if n < 3:
+        return SpearmanResult(float("nan"), 1.0, n)
+    if np.ptp(x) == 0.0 or np.ptp(y) == 0.0:
+        return SpearmanResult(float("nan"), 1.0, n)
+    rx = rankdata_average(x)
+    ry = rankdata_average(y)
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denom = math.sqrt(float(rx @ rx) * float(ry @ ry))
+    if denom == 0.0:
+        return SpearmanResult(float("nan"), 1.0, n)
+    rho = float(rx @ ry) / denom
+    rho = max(-1.0, min(1.0, rho))
+    if abs(rho) >= 1.0:
+        return SpearmanResult(rho, 0.0, n)
+    t = rho * math.sqrt((n - 2) / (1.0 - rho * rho))
+    p = 2.0 * _student_t_sf(abs(t), n - 2)
+    return SpearmanResult(rho, min(1.0, max(0.0, p)), n)

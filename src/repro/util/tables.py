@@ -1,0 +1,47 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark drivers regenerate the paper's tables and figure series as
+aligned ASCII tables on stdout, in the same row/column layout the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(v: object, float_fmt: str = "{:.3f}") -> str:
+    """Render a cell: floats via ``float_fmt``, percents for tagged tuples."""
+    if isinstance(v, float):
+        return float_fmt.format(v)
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table with an optional title line."""
+    str_rows = [[format_value(c, float_fmt) for c in row] for row in rows]
+    cols = len(headers)
+    for r in str_rows:
+        if len(r) != cols:
+            raise ValueError("row width does not match header width")
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in str_rows)) if str_rows else len(headers[j])
+        for j in range(cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

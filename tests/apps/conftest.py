@@ -1,0 +1,62 @@
+"""Shared fixtures: small, fast app factories for behavioural tests."""
+
+import pytest
+
+from repro.apps.base import AppFactory
+
+
+def small_factory(name: str) -> AppFactory:
+    """Reduced problem sizes so app tests stay fast."""
+    if name == "MG":
+        from repro.apps.mg import MG
+
+        return AppFactory(MG, n=17, nit=10, seed=7)
+    if name == "CG":
+        from repro.apps.cg import CG
+
+        return AppFactory(CG, n=32, inner_steps=8, shift=0.4, conv_tol=1e-10, max_outer=80, seed=7)
+    if name == "FT":
+        from repro.apps.ft import FT
+
+        return AppFactory(FT, n=16, nit=6, seed=7)
+    if name == "IS":
+        from repro.apps.is_ import IS
+
+        return AppFactory(IS, n_keys=1 << 12, n_buckets=64, nit=5, seed=7)
+    if name == "EP":
+        from repro.apps.ep import EP
+
+        return AppFactory(EP, batches=16, batch_size=512, seed=7)
+    if name == "BT":
+        from repro.apps.bt import BT
+
+        return AppFactory(BT, n=16, nit=8, seed=7)
+    if name == "SP":
+        from repro.apps.sp import SP
+
+        return AppFactory(SP, n=16, nit=8, seed=7)
+    if name == "LU":
+        from repro.apps.lu import LU
+
+        return AppFactory(LU, n=16, nit=8, seed=7)
+    if name == "botsspar":
+        from repro.apps.botsspar import BotsSpar
+
+        return AppFactory(BotsSpar, blocks=12, block_size=8, bandwidth=3, seed=7)
+    if name == "LULESH":
+        from repro.apps.lulesh import LULESH
+
+        return AppFactory(LULESH, n_cells=2048, nit=40, seed=7)
+    if name == "kmeans":
+        from repro.apps.kmeans import KMeans
+
+        return AppFactory(KMeans, n_points=2048, n_features=4, k=6, seed=7)
+    raise KeyError(name)
+
+
+ALL_APPS = ["CG", "MG", "FT", "IS", "BT", "LU", "SP", "EP", "botsspar", "LULESH", "kmeans"]
+
+
+@pytest.fixture(params=ALL_APPS)
+def app_factory(request):
+    return small_factory(request.param)

@@ -1,0 +1,95 @@
+"""Contract tests every application must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.nvct.campaign import CampaignConfig, Response, run_campaign
+from repro.nvct.plan import PersistencePlan
+from repro.nvct.runtime import CountingRuntime, Runtime
+
+
+def test_golden_run_verifies(app_factory):
+    result, metrics = app_factory.golden()
+    assert result.iterations > 0
+    assert metrics  # non-empty outcome
+
+
+def test_golden_is_deterministic(app_factory):
+    a = app_factory.make(None)
+    ra = a.run()
+    b = app_factory.make(None)
+    rb = b.run()
+    assert ra.iterations == rb.iterations
+    assert a.reference_outcome() == b.reference_outcome()
+
+
+def test_regions_declared_and_used(app_factory):
+    rt = CountingRuntime()
+    app = app_factory.make(rt)
+    app.run()
+    used = {k for k in rt.region_profile if not k.startswith("__")}
+    assert used == set(app_factory.regions)
+
+
+def test_counting_and_instrumented_counters_agree(app_factory):
+    rt_c = CountingRuntime()
+    app_factory.make(rt_c).run()
+    rt_i = Runtime()
+    app_factory.make(rt_i).run()
+    assert rt_c.counter == rt_i.counter
+    assert rt_c.window_begin == rt_i.window_begin
+
+
+def test_boundary_restart_is_exact(app_factory):
+    """Restoring the architectural state at an iteration boundary and
+    re-running must reproduce the golden outcome (except EP, whose hidden
+    sequential RNG state is intentionally unrecoverable)."""
+    golden_result, golden_metrics = app_factory.golden()
+    app = app_factory.make(None)
+    half = max(1, golden_result.iterations // 2)
+    app.run(start_iter=0, max_iterations=half)
+    # Snapshot full architectural state of candidates + iterator.
+    state = app.ws.heap.snapshot_consistent()
+    fresh = app_factory.make(None)
+    resume = fresh.restore(state)
+    assert resume == half
+    fresh.run(start_iter=resume)
+    if app_factory.name == "EP":
+        assert not fresh.verify()
+    else:
+        assert fresh.verify(), f"{app_factory.name}: boundary restart failed verification"
+
+
+def test_restart_from_scratch_state(app_factory):
+    """Restoring an all-initial NVM image restarts from iteration 0 and
+    (for every app) reproduces the golden run."""
+    app = app_factory.make(None)
+    state = app.ws.heap.snapshot_consistent()  # post-init state
+    fresh = app_factory.make(None)
+    resume = fresh.restore(state)
+    assert resume == 0
+    fresh.run(start_iter=0)
+    assert fresh.verify()
+
+
+def test_footprint_nontrivial(app_factory):
+    app = app_factory.make(None)
+    assert app.ws.heap.footprint_bytes() > 1024
+    assert app.ws.heap.candidates(), "every app must have candidate objects"
+
+
+def test_instrumented_run_produces_nvm_writes(app_factory):
+    rt = Runtime(plan=PersistencePlan.at_loop_end([o.name for o in
+                 app_factory.make(None).ws.heap.candidates()]))
+    app = app_factory.make(rt)
+    app.run()
+    assert rt.hierarchy.stats.nvm_writes > 0
+    assert len(rt.persist_events) >= 1
+
+
+def test_tiny_campaign_runs_and_classifies(app_factory):
+    cfg = CampaignConfig(n_tests=6, seed=0)
+    res = run_campaign(app_factory, cfg)
+    assert res.n_tests == 6
+    for rec in res.records:
+        assert isinstance(rec.response, Response)

@@ -1,0 +1,216 @@
+"""Numerical correctness of the mini-app kernels.
+
+The crash study is only meaningful if the substrates really compute what
+they claim: MG really solves Poisson, the Thomas solver really inverts
+tridiagonal systems, botsspar really factors its matrix, IS really sorts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.bt import _thomas_batched
+from repro.apps.mg import _laplacian, _prolong, _restrict, _vcycle
+
+
+# -- MG components -----------------------------------------------------------------
+
+
+def test_laplacian_of_quadratic():
+    n = 17
+    h = 1.0 / (n - 1)
+    x = np.linspace(0, 1, n)
+    X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+    u = X * (1 - X)  # -u'' = 2 in x, 0 in y/z
+    lap = _laplacian(u, h * h)
+    assert np.allclose(lap[1:-1, 1:-1, 1:-1], 2.0, atol=1e-8)
+
+
+def test_restrict_preserves_smooth_fields():
+    n = 17
+    x = np.linspace(0, 1, n)
+    X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+    f = np.sin(np.pi * X) * np.sin(np.pi * Y) * np.sin(np.pi * Z)
+    rc = _restrict(f)
+    xc = np.linspace(0, 1, 9)
+    Xc, Yc, Zc = np.meshgrid(xc, xc, xc, indexing="ij")
+    ref = np.sin(np.pi * Xc) * np.sin(np.pi * Yc) * np.sin(np.pi * Zc)
+    interior = (slice(1, -1),) * 3
+    assert np.allclose(rc[interior], ref[interior], atol=0.06)
+
+
+def test_prolong_exact_on_trilinear():
+    xc = np.linspace(0, 1, 5)
+    Xc, Yc, Zc = np.meshgrid(xc, xc, xc, indexing="ij")
+    e = 1 + 2 * Xc - Yc + 0.5 * Zc
+    ef = _prolong(e, 9)
+    xf = np.linspace(0, 1, 9)
+    Xf, Yf, Zf = np.meshgrid(xf, xf, xf, indexing="ij")
+    assert np.allclose(ef, 1 + 2 * Xf - Yf + 0.5 * Zf, atol=1e-12)
+
+
+def test_vcycle_contracts_residual():
+    n = 17
+    h = 1.0 / (n - 1)
+    rng = np.random.default_rng(0)
+    f = np.zeros((n, n, n))
+    f[1:-1, 1:-1, 1:-1] = rng.standard_normal((n - 2, n - 2, n - 2))
+    u = np.zeros_like(f)
+    norms = [np.linalg.norm(f)]
+    for _ in range(4):
+        r = f - _laplacian(u, h * h)
+        u = u + _vcycle(r.copy(), h)
+        norms.append(np.linalg.norm(f - _laplacian(u, h * h)))
+    # Mean contraction factor well below 1.
+    factor = (norms[-1] / norms[0]) ** (1 / 4)
+    assert factor < 0.5
+
+
+def test_mg_solves_poisson_to_discretization_accuracy():
+    from repro.apps.mg import MG
+
+    app = MG(runtime=None, n=17, nit=25, seed=1)
+    app.setup()
+    app.run()
+    assert app._residual_rel() < 1e-10
+
+
+# -- Thomas solver ---------------------------------------------------------------
+
+
+def test_thomas_matches_dense_solve():
+    rng = np.random.default_rng(1)
+    n = 24
+    lower, diag, upper = -0.3, 1.9, -0.4
+    A = (
+        np.diag(np.full(n, diag))
+        + np.diag(np.full(n - 1, lower), -1)
+        + np.diag(np.full(n - 1, upper), 1)
+    )
+    d = rng.standard_normal((n, 7))
+    x = _thomas_batched(lower, diag, upper, d)
+    ref = np.linalg.solve(A, d)
+    assert np.allclose(x, ref, atol=1e-10)
+
+
+def test_thomas_batched_trailing_shape():
+    d = np.ones((8, 3, 4))
+    x = _thomas_batched(-1.0, 3.0, -1.0, d)
+    assert x.shape == (8, 3, 4)
+
+
+# -- botsspar --------------------------------------------------------------------
+
+
+def test_botsspar_factorization_solves_the_system():
+    from repro.apps.botsspar import BotsSpar
+
+    app = BotsSpar(runtime=None, blocks=8, block_size=6, bandwidth=3, seed=3)
+    app.setup()
+    a0 = app.dense()  # dense copy of the initial matrix
+    app.run()
+    f = app.dense()
+    n = app.nb * app.bs
+    lower = np.tril(f, -1) + np.eye(n)
+    upper = np.triu(f)
+    assert np.allclose(lower @ upper, a0, atol=1e-8)
+
+
+# -- IS ---------------------------------------------------------------------------
+
+
+def test_is_final_store_is_bucket_sorted():
+    from repro.apps.is_ import IS
+
+    app = IS(runtime=None, n_keys=1 << 10, n_buckets=32, nit=4, seed=5)
+    app.setup()
+    app.run()
+    fill, store = app._final_state()
+    total = 0
+    for b in range(app.n_buckets):
+        lo = b * app.bucket_cap
+        seg = store[lo : lo + int(fill[b])]
+        assert np.all(seg * app.n_buckets // app.key_max == b)
+        total += seg.size
+    assert total == 4 * (1 << 10)
+
+
+# -- FT ----------------------------------------------------------------------------
+
+
+def test_ft_checksum_trajectory_is_bounded_and_varies():
+    from repro.apps.ft import FT
+
+    app = FT(runtime=None, n=16, nit=8, seed=5)
+    app.setup()
+    app.run()
+    sums = app.sums.np
+    assert np.all(np.isfinite(sums))
+    mags = np.hypot(sums[:, 0], sums[:, 1])
+    assert mags.max() < 1.0
+    assert np.unique(np.round(mags, 12)).size > 4  # evolves per iteration
+
+
+# -- LULESH ---------------------------------------------------------------------------
+
+
+def test_lulesh_shock_propagates_and_energy_stays_bounded():
+    from repro.apps.lulesh import LULESH
+
+    app = LULESH(runtime=None, n_cells=2048, nit=120, seed=5)
+    app.setup()
+    e0 = float(app.e.np @ app.mass.np)
+    app.run()
+    out = app.reference_outcome()
+    # Energy leaves the origin cell as the blast expands.
+    assert out["origin_energy"] < 1.0
+    # Positions stay monotone (no tangled mesh).
+    assert np.all(np.diff(app.x.np) > 0)
+    # Total energy stays within a sane band of the deposited energy.
+    assert 0.2 * e0 < out["total_energy"] < 2.0 * e0
+
+
+# -- EP -----------------------------------------------------------------------------
+
+
+def test_ep_gaussian_acceptance_rate():
+    from repro.apps.ep import EP
+
+    app = EP(runtime=None, batches=32, batch_size=2048, seed=5)
+    app.setup()
+    app.run()
+    accepted = float(app.q.np.sum())
+    total = 32 * 2048
+    # Box-Muller acceptance rate is pi/4 ~ 0.785.
+    assert accepted / total == pytest.approx(np.pi / 4, abs=0.02)
+
+
+def test_ep_lcg_stream_is_sequential():
+    from repro.apps.ep import EP
+
+    app = EP(runtime=None, batches=4, batch_size=128, seed=9)
+    app.setup()
+    s0 = app._lcg_state
+    u1 = app._lcg_batch(256)
+    s1 = app._lcg_state
+    u2 = app._lcg_batch(256)
+    assert s1 != s0
+    assert not np.array_equal(u1, u2)
+    # Restarting from the seed reproduces the first batch only.
+    app._lcg_state = s0
+    assert np.array_equal(app._lcg_batch(256), u1)
+
+
+# -- CG ------------------------------------------------------------------------------
+
+
+def test_cg_zeta_is_the_smallest_eigenvalue():
+    from repro.apps.cg import CG, _poisson2d_shifted
+
+    app = CG(runtime=None, n=24, inner_steps=25, shift=0.4, conv_tol=1e-12, max_outer=120, seed=3)
+    app.setup()
+    app.run()
+    zeta = app.reference_outcome()["zeta"]
+    a = _poisson2d_shifted(24, 0.4).toarray()
+    lam_min = float(np.min(np.linalg.eigvalsh(a)))
+    # NPB-style estimate: zeta = shift + 1/(x . z) -> shift + lambda_min(A).
+    assert zeta == pytest.approx(0.4 + lam_min, rel=1e-4)

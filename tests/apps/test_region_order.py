@@ -1,0 +1,47 @@
+"""Region execution order matches each application's declaration."""
+
+import pytest
+
+from repro.nvct.runtime import CountingRuntime
+from tests.apps.conftest import ALL_APPS, small_factory
+
+
+class OrderRecorder(CountingRuntime):
+    def __init__(self):
+        super().__init__()
+        self.order: list[str] = []
+
+    def region_begin(self, rid):
+        self.order.append(rid)
+        super().region_begin(rid)
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_regions_execute_in_declared_order(name):
+    factory = small_factory(name)
+    rt = OrderRecorder()
+    app = factory.make(runtime=rt)
+    app.run(start_iter=0, max_iterations=min(2, app.nominal_iterations()))
+    regions = list(factory.regions)
+    # The recorded stream is iterations of the declared sequence (some
+    # regions may repeat within an iteration, but the *first* occurrence
+    # of each per iteration follows declaration order).
+    per_iter = len(regions)
+    first_iter = rt.order[:per_iter]
+    seen = [r for r in dict.fromkeys(first_iter)]
+    declared_positions = {r: i for i, r in enumerate(regions)}
+    positions = [declared_positions[r] for r in seen]
+    assert positions == sorted(positions), f"{name}: {seen} out of declared order"
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_every_iteration_executes_every_region(name):
+    factory = small_factory(name)
+    rt = CountingRuntime()
+    app = factory.make(runtime=rt)
+    n = min(3, app.nominal_iterations())
+    app.run(start_iter=0, max_iterations=n)
+    for rid in factory.regions:
+        assert rt.region_profile[rid].executions == n, (
+            f"{name}: region {rid} ran {rt.region_profile[rid].executions}x in {n} iterations"
+        )

@@ -1,0 +1,66 @@
+"""XSBench extension app: Monte Carlo lookups under crashes."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AppFactory
+from repro.apps.xsbench import XSBench
+from repro.nvct.campaign import CampaignConfig, Response, run_campaign
+from repro.nvct.plan import PersistencePlan
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return AppFactory(XSBench, n_grid=1024, n_nuclides=16, n_materials=4,
+                      batch=2048, nit=10, seed=3)
+
+
+def test_golden_runs_and_tallies_accumulate(factory):
+    result, metrics = factory.golden()
+    assert result.iterations == 10
+    assert metrics["lookups"] == 10 * 2048
+    assert all(metrics[f"t{m}"] > 0 for m in range(4))
+
+
+def test_macro_xs_is_composition_weighted(factory):
+    app = factory.make(None)
+    app.run()
+    # Total tally ~ lookups x mean macro XS; with gamma(2,1) sections and
+    # Dirichlet compositions the mean macro XS is ~2.
+    total = sum(app.reference_outcome()[f"t{m}"] for m in range(4))
+    per_lookup = total / (10 * 2048)
+    assert 1.0 < per_lookup < 3.5
+
+
+def test_boundary_restart_is_exact(factory):
+    app = factory.make(None)
+    app.run(start_iter=0, max_iterations=5)
+    state = app.ws.heap.snapshot_consistent()
+    fresh = factory.make(None)
+    fresh.run(start_iter=fresh.restore(state))
+    assert fresh.verify()
+
+
+def test_baseline_fails_like_a_tally_code(factory):
+    """Hot tiny tallies are stale in NVM -> exact verification fails."""
+    res = run_campaign(factory, CampaignConfig(n_tests=25, seed=2))
+    fr = res.response_fractions()
+    assert fr[Response.S4] > 0.5
+    assert fr[Response.S3] == 0.0
+
+
+def test_flushing_tallies_repairs_unlike_ep(factory):
+    """The EP contrast: per-batch seeding makes the replay exact, so
+    persisting the 40-byte tally state recovers almost every crash."""
+    plan = PersistencePlan.at_loop_end(["tallies", "lookups"])
+    res = run_campaign(factory, CampaignConfig(n_tests=25, seed=2, plan=plan))
+    assert res.recomputability() > 0.85
+
+
+def test_ep_stays_broken_under_the_same_treatment():
+    from repro.apps.ep import EP
+
+    fac = AppFactory(EP, batches=16, batch_size=512, seed=7)
+    plan = PersistencePlan.at_loop_end(["q", "sx", "sy"])
+    res = run_campaign(fac, CampaignConfig(n_tests=25, seed=2, plan=plan))
+    assert res.recomputability() < 0.1

@@ -1,0 +1,54 @@
+"""C/R write-traffic accounting (Fig. 9 machinery)."""
+
+import pytest
+
+from repro.checkpoint.cr import checkpoint_write_experiment, simulate_checkpoint
+from repro.checkpoint.multilevel import MultiLevelCheckpointModel
+from repro.nvct.managed import Workspace
+from repro.nvct.plan import PersistencePlan
+from repro.nvct.runtime import Runtime
+from tests.nvct.test_campaign import Counterloop, factory
+
+
+def test_simulate_checkpoint_counts_copy_writes():
+    rt = Runtime(plan=PersistencePlan.none(persist_iterator=False))
+    ws = Workspace(rt)
+    a = ws.array("a", (1024,))  # 128 blocks
+    a.write(slice(None), 1.0)
+    before = rt.hierarchy.stats.nvm_writes
+    simulate_checkpoint(rt, ["a"])
+    extra = rt.hierarchy.stats.nvm_writes - before
+    # The checkpoint must at least write every block of the copy.
+    assert extra >= a.obj.nblocks
+
+
+def test_experiment_ordering_easycrash_vs_cr():
+    from repro.memsim.config import HierarchyConfig
+
+    fac = factory(size=4096, nit=8)
+    plan = PersistencePlan.at_loop_end(["acc"])
+    # A small LLC so the working set spills (the regime of the study).
+    hier = HierarchyConfig.scaled_llc(16 * 1024, 8)
+    res = checkpoint_write_experiment(fac, ["acc"], plan, hierarchy=hier)
+    assert res["baseline"].normalized == pytest.approx(1.0)
+    # C/R of everything writes at least as much as C/R of critical objects.
+    assert res["cr_all"].nvm_writes >= res["cr_critical"].nvm_writes
+    # All persistence variants add writes over the plain run.
+    assert res["easycrash"].nvm_writes >= res["baseline"].nvm_writes
+    assert res["cr_critical"].nvm_writes > res["baseline"].nvm_writes
+
+
+def test_multilevel_model_presets():
+    m = MultiLevelCheckpointModel.for_scenario(64, "ssd")
+    assert m.t_chk == pytest.approx(32.0, rel=0.01)
+    m2 = MultiLevelCheckpointModel.for_scenario(64, "hdd_slow")
+    assert m2.t_chk == pytest.approx(3200.0, rel=0.01)
+    assert m.t_sync == pytest.approx(0.5 * m.t_chk)
+    assert m.t_restore == m.t_chk
+
+
+def test_multilevel_model_validation():
+    with pytest.raises(ValueError):
+        MultiLevelCheckpointModel(0, 1.0)
+    with pytest.raises(ValueError):
+        MultiLevelCheckpointModel(1.0, -1.0)

@@ -1,0 +1,64 @@
+"""The Sec. 8 deployment advisor."""
+
+import pytest
+
+from repro.apps.base import AppFactory
+from repro.core.advisor import DeploymentScenario, advise
+from repro.core.planner import EasyCrashConfig
+from repro.system.mtbf import HOUR
+from tests.core.test_planner import TwoObjects
+from tests.nvct.test_campaign import Counterloop
+
+
+PLANNER = EasyCrashConfig(n_tests=60, seed=0, refinement_tests=40)
+
+
+@pytest.fixture(scope="module")
+def fixable_report():
+    scenario = DeploymentScenario(mtbf_s=12 * HOUR, t_chk_s=3200.0, ts=0.03)
+    return advise(AppFactory(TwoObjects), scenario, PLANNER, validation_tests=60)
+
+
+def test_fixable_app_gets_easycrash(fixable_report):
+    rep = fixable_report
+    assert rep.use_easycrash
+    assert rep.plan.is_active
+    assert rep.measured_recomputability > rep.tau
+    assert rep.efficiency_with > rep.efficiency_without
+
+
+def test_report_summary_mentions_verdict(fixable_report):
+    assert "USE EasyCrash" in fixable_report.summary()
+    assert "tau=" in fixable_report.summary()
+
+
+def test_unfixable_app_falls_back_to_cr():
+    class Hopeless(Counterloop):
+        """Zero-tolerance application: every *restarted* run fails
+        acceptance (the paper's second unsuitable category)."""
+
+        NAME = "hopeless"
+
+        def restore(self, state):
+            self._restored = True
+            return super().restore(state)
+
+        def verify(self):
+            return not getattr(self, "_restored", False)
+
+    scenario = DeploymentScenario(mtbf_s=12 * HOUR, t_chk_s=3200.0, ts=0.03)
+    rep = advise(AppFactory(Hopeless), scenario, PLANNER, validation_tests=40)
+    assert not rep.use_easycrash
+    assert not rep.plan.is_active
+    assert rep.efficiency_with == rep.efficiency_without
+    assert "plain C/R" in rep.summary()
+
+
+def test_cheap_checkpoints_raise_the_bar():
+    # With nearly-free checkpoints, tau approaches 1 and EasyCrash must
+    # clear a much higher threshold.
+    cheap = DeploymentScenario(mtbf_s=12 * HOUR, t_chk_s=1.0, ts=0.03)
+    costly = DeploymentScenario(mtbf_s=12 * HOUR, t_chk_s=3200.0, ts=0.03)
+    rep_cheap = advise(AppFactory(TwoObjects), cheap, PLANNER, validation_tests=40)
+    rep_costly = advise(AppFactory(TwoObjects), costly, PLANNER, validation_tests=40)
+    assert rep_cheap.tau > rep_costly.tau

@@ -1,0 +1,64 @@
+"""Recomputability model equations (Eqs. 1-5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    application_recomputability,
+    recomputability_with_frequency,
+    recomputability_with_plan,
+)
+
+
+def test_eq1_weighted_sum():
+    shares = {"R1": 0.5, "R2": 0.5}
+    c = {"R1": 1.0, "R2": 0.0}
+    assert application_recomputability(shares, c) == pytest.approx(0.5)
+
+
+def test_eq1_missing_region_is_zero():
+    assert application_recomputability({"R1": 1.0}, {}) == 0.0
+
+
+def test_eq5_endpoints():
+    assert recomputability_with_frequency(0.2, 0.8, 1) == pytest.approx(0.8)
+    assert recomputability_with_frequency(0.2, 0.8, 10**9) == pytest.approx(0.2, abs=1e-6)
+
+
+def test_eq5_interpolation():
+    assert recomputability_with_frequency(0.2, 0.8, 2) == pytest.approx(0.5)
+    assert recomputability_with_frequency(0.2, 0.8, 4) == pytest.approx(0.35)
+
+
+def test_eq5_invalid_frequency():
+    with pytest.raises(ValueError):
+        recomputability_with_frequency(0.1, 0.9, 0)
+
+
+def test_eq2_with_plan():
+    shares = {"R1": 0.4, "R2": 0.6}
+    c = {"R1": 0.1, "R2": 0.5}
+    cmax = {"R1": 0.9, "R2": 0.7}
+    y = recomputability_with_plan(shares, c, cmax, {"R1": 1})
+    assert y == pytest.approx(0.4 * 0.9 + 0.6 * 0.5)
+
+
+@given(
+    st.floats(0, 1),
+    st.floats(0, 1),
+    st.integers(1, 64),
+)
+def test_eq5_bounds_property(ck, ckm, x):
+    v = recomputability_with_frequency(ck, ckm, x)
+    lo, hi = min(ck, ckm), max(ck, ckm)
+    assert lo - 1e-12 <= v <= hi + 1e-12
+
+
+@given(
+    st.dictionaries(st.sampled_from(["R1", "R2", "R3"]), st.floats(0, 1), min_size=1),
+    st.dictionaries(st.sampled_from(["R1", "R2", "R3"]), st.floats(0, 1)),
+)
+def test_eq1_bounded_by_total_share(shares, c):
+    y = application_recomputability(shares, c)
+    assert 0.0 <= y <= sum(shares.values()) + 1e-9

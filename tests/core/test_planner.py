@@ -1,0 +1,108 @@
+"""End-to-end EasyCrash planning workflow on a synthetic application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AppFactory, Application
+from repro.core.planner import EasyCrashConfig, plan_easycrash
+from repro.nvct.campaign import CampaignConfig, run_campaign
+
+
+class TwoObjects(Application):
+    """Synthetic app with one load-bearing accumulator and one big decoy
+    that is overwritten before use — the planner must persist the former
+    and learn to drop the latter."""
+
+    NAME = "twoobjects"
+    REGIONS = ("R1", "R2")
+    DEFAULT_MAX_FACTOR = 1.0
+
+    def __init__(self, runtime=None, size: int = 512, nit: int = 10, **kw):
+        super().__init__(runtime, size=size, nit=nit, **kw)
+        self.size = size
+        self.nit = nit
+
+    def nominal_iterations(self):
+        return self.nit
+
+    def _allocate(self):
+        self.acc = self.ws.array("acc", (self.size,), candidate=True)
+        self.decoy = self.ws.array("decoy", (16 * self.size,), candidate=True)
+
+    def _initialize(self):
+        self.acc.np[...] = 0.0
+        self.decoy.np[...] = 0.0
+
+    def _iterate(self, it):
+        with self.ws.region("R1"):
+            self.decoy.write(slice(None), float(it))  # overwritten each iter
+            d = self.decoy.read(slice(0, self.size))
+        with self.ws.region("R2"):
+            self.acc.update(slice(None), lambda a: np.add(a, d + 1.0, out=a))
+        return False
+
+    def reference_outcome(self):
+        return {"sum": float(self.acc.np.sum())}
+
+    def verify(self):
+        if self.golden is None:
+            return True
+        return self.reference_outcome()["sum"] == self.golden["sum"]
+
+
+@pytest.fixture(scope="module")
+def plan_report():
+    factory = AppFactory(TwoObjects)
+    cfg = EasyCrashConfig(n_tests=80, seed=0, refinement_tests=60)
+    return factory, plan_easycrash(factory, cfg)
+
+
+def test_accumulator_is_critical(plan_report):
+    _, report = plan_report
+    assert "acc" in report.critical_objects
+
+
+def test_decoy_dropped_by_refinement(plan_report):
+    _, report = plan_report
+    assert "decoy" not in report.critical_objects
+
+
+def test_plan_improves_recomputability(plan_report):
+    factory, report = plan_report
+    base = report.baseline_campaign.recomputability()
+    check = run_campaign(
+        factory, CampaignConfig(n_tests=60, seed=99, plan=report.plan)
+    )
+    assert check.recomputability() > base + 0.3
+    assert check.recomputability() > 0.8
+
+
+def test_budget_respected(plan_report):
+    _, report = plan_report
+    sel = report.region_selection
+    assert sel is not None
+    assert sel.total_cost_share <= sel.ts + 1e-9
+
+
+def test_predicted_close_to_measured(plan_report):
+    factory, report = plan_report
+    check = run_campaign(
+        factory, CampaignConfig(n_tests=60, seed=99, plan=report.plan)
+    )
+    assert abs(report.predicted_recomputability - check.recomputability()) < 0.25
+
+
+def test_empty_selection_yields_iterator_only_plan():
+    """An app whose failures nothing can fix (all tests succeed) plans no
+    flushing."""
+
+    class AlwaysFine(TwoObjects):
+        NAME = "alwaysfine"
+
+        def verify(self):
+            return True
+
+    factory = AppFactory(AlwaysFine)
+    report = plan_easycrash(factory, EasyCrashConfig(n_tests=30, seed=0))
+    assert report.critical_objects == ()
+    assert not report.plan.is_active

@@ -1,0 +1,91 @@
+"""Code-region selection knapsack."""
+
+import pytest
+
+from repro.core.regions import LOOP_END, select_code_regions
+from repro.perf.costmodel import CostModel
+
+
+def run_selection(
+    shares=None,
+    c_base=None,
+    c_region=None,
+    c_loop=None,
+    ts=0.03,
+    base_time=1e7,
+    critical_blocks=100,
+    executions=None,
+    nit=10,
+    tau=0.0,
+):
+    shares = shares or {"R1": 0.5, "R2": 0.5}
+    c_base = c_base or {"R1": 0.2, "R2": 0.2}
+    c_region = c_region or {"R1": 0.2, "R2": 0.2}
+    c_loop = c_loop or {"R1": 0.9, "R2": 0.9}
+    executions = executions or {"R1": nit, "R2": nit}
+    return select_code_regions(
+        shares,
+        c_base,
+        c_region,
+        c_loop,
+        executions,
+        nit,
+        critical_blocks,
+        base_time,
+        ts=ts,
+        tau=tau,
+    )
+
+
+def test_loop_end_selected_when_it_helps():
+    res = run_selection()
+    assert res.loop_frequency == 1
+    assert res.predicted_recomputability == pytest.approx(0.9)
+    assert res.feasible
+
+
+def test_nothing_selected_when_no_gain():
+    res = run_selection(c_loop={"R1": 0.2, "R2": 0.2})
+    assert res.choices == ()
+    assert res.predicted_recomputability == pytest.approx(0.2)
+
+
+def test_budget_forces_lower_frequency():
+    # Make one flush cost ~2% of base time: x=1 costs 20% -> pick x=8.
+    cm = CostModel()
+    flush_once = cm.estimate_flush_once(1000)
+    base_time = flush_once * 10 / 0.20  # x=1 -> 20% overhead
+    res = run_selection(critical_blocks=1000, base_time=base_time, ts=0.03)
+    assert res.loop_frequency == 8
+    assert res.total_cost_share <= 0.03 + 1e-9
+    # Eq. 5: predicted recomputability interpolates toward the baseline.
+    assert res.predicted_recomputability == pytest.approx(0.2 + 0.7 / 8)
+
+
+def test_region_flush_chosen_over_loop_when_better():
+    res = run_selection(
+        c_region={"R1": 0.95, "R2": 0.2},
+        c_loop={"R1": 0.3, "R2": 0.3},
+    )
+    assert "R1" in res.frequencies
+    # Predicted Y combines mechanisms by max per region.
+    assert res.predicted_recomputability >= 0.5 * 0.95 + 0.5 * 0.2 - 1e-9
+
+
+def test_infeasible_when_tau_unreachable():
+    res = run_selection(tau=0.95)
+    assert not res.feasible
+
+
+def test_zero_budget_selects_nothing_with_cost():
+    res = run_selection(ts=0.0)
+    assert res.total_cost_share == 0.0
+    assert res.choices == ()
+
+
+def test_internal_regions_excluded():
+    res = run_selection(shares={"R1": 0.5, "__main__": 0.5}, c_base={"R1": 0.2},
+                        c_region={"R1": 0.2}, c_loop={"R1": 0.9},
+                        executions={"R1": 10})
+    names = {c.region for c in res.choices}
+    assert "__main__" not in names

@@ -1,0 +1,100 @@
+"""Data-object selection: Spearman criteria + degenerate-rate adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import select_critical_objects
+from repro.nvct.campaign import CampaignResult, CrashTestRecord, Response
+from repro.nvct.plan import PersistencePlan
+
+
+def make_campaign(records):
+    return CampaignResult(
+        app="synthetic",
+        plan=PersistencePlan.none(),
+        records=records,
+        run_stats=None,  # selection never touches run stats
+        golden_iterations=10,
+    )
+
+
+def rec(success: bool, **rates):
+    return CrashTestRecord(
+        counter=0,
+        iteration=0,
+        region="R1",
+        rates=rates,
+        response=Response.S1 if success else Response.S4,
+    )
+
+
+def test_strong_negative_correlation_selected():
+    rng = np.random.default_rng(0)
+    records = []
+    for _ in range(200):
+        rate = rng.random()
+        success = rate < 0.3  # high inconsistency -> failure
+        records.append(rec(success, hot=rate, noise=rng.random()))
+    sel = select_critical_objects(make_campaign(records))
+    assert "hot" in sel.critical
+    assert "noise" not in sel.critical
+
+
+def test_positive_correlation_rejected():
+    # Objects whose *inconsistency* coincides with success (e.g. FT's
+    # pre-evolve dirty blocks) must not be selected.
+    rng = np.random.default_rng(1)
+    records = []
+    for _ in range(200):
+        rate = rng.random()
+        records.append(rec(rate > 0.5, inverse=rate))
+    sel = select_critical_objects(make_campaign(records))
+    assert "inverse" not in sel.critical
+    assert sel.correlations["inverse"].rho > 0
+
+
+def test_degenerate_high_rate_selected_when_failures_present():
+    # Cache-hot tiny object: rate constant ~0.9, campaign mostly fails.
+    rng = np.random.default_rng(2)
+    records = [rec(rng.random() < 0.1, hot=0.9) for _ in range(100)]
+    sel = select_critical_objects(make_campaign(records))
+    assert "hot" in sel.critical
+
+
+def test_degenerate_low_rate_not_selected():
+    rng = np.random.default_rng(3)
+    records = [rec(rng.random() < 0.1, clean=0.0) for _ in range(100)]
+    sel = select_critical_objects(make_campaign(records))
+    assert "clean" not in sel.critical
+
+
+def test_degenerate_rate_not_selected_when_all_succeed():
+    records = [rec(True, hot=0.9) for _ in range(100)]
+    sel = select_critical_objects(make_campaign(records))
+    assert sel.critical == ()
+
+
+def test_alpha_threshold_respected():
+    # Calibrate alphas around the actual p-value of a moderate correlation.
+    from repro.util.stats import spearman
+
+    rng = np.random.default_rng(4)
+    records = []
+    rates, succ = [], []
+    for _ in range(120):
+        rate = rng.random()
+        success = rng.random() < (0.7 - 0.5 * rate)
+        records.append(rec(success, weak=rate))
+        rates.append(rate)
+        succ.append(1.0 if success else 0.0)
+    p = spearman(np.array(rates), np.array(succ)).pvalue
+    assert 0.0 < p < 0.2
+    loose = select_critical_objects(make_campaign(records), alpha=min(1.0, p * 5))
+    strict = select_critical_objects(make_campaign(records), alpha=p / 100)
+    assert "weak" in loose.critical
+    assert "weak" not in strict.critical
+
+
+def test_empty_campaign():
+    sel = select_critical_objects(make_campaign([]))
+    assert sel.critical == ()

@@ -1,0 +1,59 @@
+"""Harness plumbing: settings, report rendering, context caching."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.context import ExperimentContext, ExperimentSettings
+from repro.harness.experiments import ExperimentReport
+
+
+def test_settings_scales(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+    quick = ExperimentSettings.from_env()
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+    paper = ExperimentSettings.from_env()
+    monkeypatch.delenv("REPRO_BENCH_SCALE")
+    default = ExperimentSettings.from_env()
+    assert quick.n_tests < default.n_tests < paper.n_tests
+    assert quick.planner_tests < paper.planner_tests
+
+
+def test_report_render_and_save(tmp_path):
+    rep = ExperimentReport(
+        "Figure X", "demo", ["a", "b"], [["row", 0.5]], notes="a note"
+    )
+    text = rep.render()
+    assert "Figure X" in text and "a note" in text and "0.500" in text
+    saved = rep.save(tmp_path)
+    assert saved == tmp_path / "figure_x.txt"
+    assert "demo" in saved.read_text()
+
+
+def test_context_plan_cache(monkeypatch):
+    ctx = ExperimentContext(ExperimentSettings(n_tests=5, planner_tests=8, refinement_tests=5))
+    calls = []
+    import repro.harness.context as hc
+
+    real = hc.plan_easycrash
+
+    def counting_plan(factory, cfg):
+        calls.append(factory.name)
+        return real(factory, cfg)
+
+    monkeypatch.setattr(hc, "plan_easycrash", counting_plan)
+    ctx.plan_report("EP")
+    ctx.plan_report("EP")
+    assert calls == ["EP"]  # second call served from the cache
+
+
+def test_context_campaign_cache():
+    ctx = ExperimentContext(ExperimentSettings(n_tests=5, planner_tests=8, refinement_tests=5))
+    a = ctx.campaign("EP", ctx.plan_none(), "t")
+    b = ctx.campaign("EP", ctx.plan_none(), "t")
+    assert a is b
+
+
+def test_candidates_listing():
+    ctx = ExperimentContext(ExperimentSettings())
+    assert set(ctx.candidates("EP")) == {"q", "sx", "sy"}

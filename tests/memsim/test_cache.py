@@ -1,0 +1,129 @@
+"""Single-level set-associative cache behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.cache import SetAssociativeCache
+from repro.memsim.config import CacheLevelConfig
+
+
+def make_cache(sets=4, ways=2):
+    # size = sets * ways * 64
+    return SetAssociativeCache(CacheLevelConfig("T", sets * ways * 64, ways))
+
+
+def blk(*ids):
+    return np.asarray(ids, dtype=np.int64)
+
+
+def test_install_and_lookup():
+    c = make_cache()
+    c.install(blk(0, 1, 2, 3), dirty=False)
+    assert c.contains(blk(0, 1, 2, 3)).all()
+    assert not c.contains(blk(4)).any()
+
+
+def test_lru_eviction_order():
+    c = make_cache(sets=1, ways=2)
+    c.install(blk(0), dirty=False)
+    c.install(blk(1), dirty=False)
+    # Touch 0 so 1 becomes LRU.
+    present, way = c.lookup(blk(0))
+    c.refresh(blk(0), way, set_dirty=False)
+    vt, vd = c.install(blk(2), dirty=False)
+    assert list(vt) == [1]
+    assert c.contains(blk(0, 2)).all()
+    assert not c.contains(blk(1)).any()
+
+
+def test_dirty_victim_reported():
+    c = make_cache(sets=1, ways=1)
+    c.install(blk(0), dirty=True)
+    vt, vd = c.install(blk(1), dirty=False)
+    assert list(vt) == [0]
+    assert list(vd) == [True]
+
+
+def test_invalid_ways_preferred_over_lru():
+    c = make_cache(sets=1, ways=4)
+    c.install(blk(0), dirty=False)
+    vt, _ = c.install(blk(1), dirty=False)
+    assert vt.size == 0  # empty way used, no eviction
+    assert c.contains(blk(0, 1)).all()
+
+
+def test_refresh_sets_dirty_on_store_hit():
+    c = make_cache()
+    c.install(blk(5), dirty=False)
+    present, way = c.lookup(blk(5))
+    c.refresh(blk(5), way, set_dirty=True)
+    assert list(c.resident_dirty_blocks()) == [5]
+
+
+def test_remove_returns_dirtiness():
+    c = make_cache()
+    c.install(blk(3), dirty=True)
+    present, was_dirty = c.remove(blk(3, 99))
+    assert list(present) == [True, False]
+    assert list(was_dirty) == [True, False]
+    assert not c.contains(blk(3)).any()
+
+
+def test_clean_retains_line():
+    c = make_cache()
+    c.install(blk(3), dirty=True)
+    present, was_dirty = c.clean(blk(3))
+    assert present.all() and was_dirty.all()
+    assert c.contains(blk(3)).all()
+    assert c.resident_dirty_blocks().size == 0
+
+
+def test_mark_dirty_found_and_missing():
+    c = make_cache()
+    c.install(blk(2), dirty=False)
+    missing = c.mark_dirty(blk(2, 77))
+    assert list(missing) == [False, True]
+    assert list(c.resident_dirty_blocks()) == [2]
+
+
+def test_writeback_all_cleans_everything():
+    c = make_cache()
+    c.install(blk(0, 1, 2), dirty=True)
+    wb = c.writeback_all()
+    assert sorted(wb) == [0, 1, 2]
+    assert c.resident_dirty_blocks().size == 0
+    assert c.contains(blk(0, 1, 2)).all()
+
+
+def test_invalidate_all():
+    c = make_cache()
+    c.install(blk(0, 1), dirty=True)
+    c.invalidate_all()
+    assert c.resident_blocks().size == 0
+
+
+def test_stats_eviction_counts():
+    c = make_cache(sets=1, ways=1)
+    c.install(blk(0), dirty=True)
+    c.install(blk(1), dirty=False)  # evicts dirty 0
+    c.install(blk(2), dirty=False)  # evicts clean 1
+    assert c.stats.evictions == 2
+    assert c.stats.dirty_evictions == 1
+
+
+def test_set_mapping_isolated():
+    c = make_cache(sets=4, ways=1)
+    # Blocks 0 and 4 share set 0; block 1 is in set 1 and must survive.
+    c.install(blk(0, 1), dirty=False)
+    c.install(blk(4), dirty=False)
+    assert not c.contains(blk(0)).any()
+    assert c.contains(blk(1, 4)).all()
+
+
+def test_empty_arrays_are_noops():
+    c = make_cache()
+    vt, vd = c.install(blk(), dirty=False)
+    assert vt.size == 0
+    present, dirty = c.remove(blk())
+    assert present.size == 0
+    c.refresh(blk(), np.empty(0, dtype=np.int64), set_dirty=True)

@@ -1,0 +1,186 @@
+"""Behavioural tests for the inclusive multi-level hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.config import CacheLevelConfig, HierarchyConfig
+from repro.memsim.hierarchy import CacheHierarchy
+
+
+def tiny_hierarchy(sink=None):
+    cfg = HierarchyConfig(
+        (
+            CacheLevelConfig("L1", 2 * 2 * 64, 2),   # 2 sets, 2 ways
+            CacheLevelConfig("L2", 4 * 2 * 64, 2),   # 4 sets, 2 ways
+        )
+    )
+    return CacheHierarchy(cfg, writeback_sink=sink)
+
+
+def single_level(sets=4, ways=2, sink=None):
+    cfg = HierarchyConfig((CacheLevelConfig("LLC", sets * ways * 64, ways),))
+    return CacheHierarchy(cfg, writeback_sink=sink)
+
+
+class SinkRecorder:
+    def __init__(self):
+        self.events: list[int] = []
+
+    def __call__(self, blocks):
+        self.events.extend(int(b) for b in blocks)
+
+
+def test_write_then_flush_persists_once():
+    rec = SinkRecorder()
+    h = single_level(sink=rec)
+    h.access(0, 2, write=True)
+    assert rec.events == []  # still volatile
+    h.flush(0, 2)
+    assert sorted(rec.events) == [0, 1]
+    # Second flush: lines are clean, nothing written.
+    h.flush(0, 2)
+    assert sorted(rec.events) == [0, 1]
+
+
+def test_clean_flush_of_nonresident_blocks_writes_nothing():
+    rec = SinkRecorder()
+    h = single_level(sink=rec)
+    issued, dirty = h.flush(100, 110)
+    assert issued == 10
+    assert dirty == 0
+    assert rec.events == []
+
+
+def test_clflush_invalidates_clwb_retains():
+    h = single_level()
+    h.access(0, 1, write=True)
+    h.flush(0, 1, invalidate=False)  # CLWB
+    assert h.llc.contains(np.array([0])).all()
+    h.flush(0, 1, invalidate=True)  # CLFLUSHOPT
+    assert not h.llc.contains(np.array([0])).any()
+
+
+def test_capacity_eviction_writes_back_dirty():
+    rec = SinkRecorder()
+    h = single_level(sets=1, ways=2, sink=rec)
+    h.access(0, 1, write=True)
+    h.access(1, 2, write=True)
+    h.access(2, 3, write=False)  # evicts LRU dirty block 0
+    assert rec.events == [0]
+    assert h.stats.nvm_writes_from_evictions == 1
+
+
+def test_streaming_store_larger_than_cache_spills():
+    rec = SinkRecorder()
+    h = single_level(sets=4, ways=2, sink=rec)  # capacity 8 blocks
+    h.access(0, 32, write=True)
+    # 24 of the 32 dirty blocks must have spilled to NVM, 8 remain cached.
+    assert len(rec.events) == 24
+    assert h.resident_dirty_blocks().size == 8
+
+
+def test_inclusive_install_populates_all_levels():
+    h = tiny_hierarchy()
+    h.access(0, 1, write=False)
+    for lv in h.levels:
+        assert lv.contains(np.array([0])).all()
+
+
+def test_store_dirtiness_lands_in_l1_only():
+    h = tiny_hierarchy()
+    h.access(0, 1, write=True)
+    assert list(h.levels[0].resident_dirty_blocks()) == [0]
+    assert h.levels[1].resident_dirty_blocks().size == 0
+
+
+def test_l1_eviction_spills_dirty_bit_to_l2():
+    h = tiny_hierarchy()
+    h.access(0, 1, write=True)
+    # Fill set 0 of L1 (2 ways): blocks 0, 2 both map to L1 set 0.
+    h.access(2, 3, write=False)
+    h.access(4, 5, write=False)  # L1 set 0 again -> evicts block 0
+    assert not h.levels[0].contains(np.array([0])).any()
+    assert h.levels[1].contains(np.array([0])).all()
+    assert 0 in list(h.levels[1].resident_dirty_blocks())
+
+
+def test_llc_eviction_back_invalidates_l1():
+    rec = SinkRecorder()
+    h = tiny_hierarchy(sink=rec)
+    # L2 set 0 holds blocks {0, 4} (2 ways). Make block 0 dirty in L1.
+    h.access(0, 1, write=True)
+    h.access(4, 5, write=False)
+    h.access(8, 9, write=False)  # L2 set 0 full -> evicts LRU block 0
+    assert not h.levels[1].contains(np.array([0])).any()
+    # Inclusivity: back-invalidated from L1 too, dirty data persisted.
+    assert not h.levels[0].contains(np.array([0])).any()
+    assert 0 in rec.events
+
+
+def test_hit_in_l2_installs_into_l1():
+    h = tiny_hierarchy()
+    h.access(0, 1, write=False)
+    # Evict 0 from L1 (set 0) with blocks 2 and 4.
+    h.access(2, 3, write=False)
+    h.access(4, 5, write=False)
+    assert not h.levels[0].contains(np.array([0])).any()
+    h.access(0, 1, write=False)  # L2 hit, refill L1
+    assert h.levels[0].contains(np.array([0])).all()
+    assert h.stats.nvm_fills == 3  # no extra memory fill for the L2 hit
+
+
+def test_nvm_fill_counted_once_per_llc_miss():
+    h = tiny_hierarchy()
+    h.access(0, 4, write=False)
+    assert h.stats.nvm_fills == 4
+    h.access(0, 4, write=False)
+    assert h.stats.nvm_fills == 4
+
+
+def test_writeback_all_drains_union_of_dirty():
+    rec = SinkRecorder()
+    h = tiny_hierarchy(sink=rec)
+    h.access(0, 2, write=True)
+    n = h.writeback_all()
+    assert n == 2
+    assert sorted(rec.events) == [0, 1]
+    assert h.resident_dirty_blocks().size == 0
+    assert h.stats.nvm_writes_from_drain == 2
+
+
+def test_invalidate_all_loses_dirty_data():
+    rec = SinkRecorder()
+    h = single_level(sink=rec)
+    h.access(0, 4, write=True)
+    h.invalidate_all()
+    assert rec.events == []  # crash: nothing written back
+    assert h.resident_dirty_blocks().size == 0
+
+
+def test_stats_level_accesses_cascade():
+    h = tiny_hierarchy()
+    h.access(0, 1, write=False)
+    h.access(0, 1, write=False)
+    l1 = h.stats.per_level["L1"]
+    l2 = h.stats.per_level["L2"]
+    assert l1.read_accesses == 2 and l1.read_hits == 1
+    assert l2.read_accesses == 1 and l2.read_hits == 0
+
+
+def test_flush_counts_clean_and_dirty_hits():
+    h = single_level()
+    h.access(0, 1, write=True)
+    h.access(1, 2, write=False)
+    h.flush(0, 3)
+    llc = h.stats.per_level["LLC"]
+    assert llc.flush_issued == 3
+    assert llc.flush_dirty_hits == 1
+    assert llc.flush_clean_hits == 1
+
+
+def test_access_blocks_nonmonotonic_sequence():
+    h = single_level(sets=2, ways=1)
+    h.access_blocks(np.array([0, 3, 0, 2]), write=True)
+    # Set 0 saw 0, 2 (2 evicts 0); set 1 saw 3.
+    assert not h.llc.contains(np.array([0])).any()
+    assert h.llc.contains(np.array([2, 3])).all()

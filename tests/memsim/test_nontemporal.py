@@ -1,0 +1,61 @@
+"""Non-temporal (MOVNT) store semantics."""
+
+import numpy as np
+
+from repro.memsim.config import CacheLevelConfig, HierarchyConfig
+from repro.memsim.hierarchy import CacheHierarchy
+from repro.nvct.managed import Workspace
+from repro.nvct.runtime import Runtime
+
+
+def single_level(sets=4, ways=2, sink=None):
+    cfg = HierarchyConfig((CacheLevelConfig("LLC", sets * ways * 64, ways),))
+    return CacheHierarchy(cfg, writeback_sink=sink)
+
+
+def test_nt_store_writes_nvm_directly():
+    events = []
+    h = single_level(sink=lambda b: events.extend(b.tolist()))
+    h.store_nontemporal(np.array([3, 5]))
+    assert sorted(events) == [3, 5]
+    assert h.stats.nvm_writes_from_nt == 2
+    assert not h.llc.contains(np.array([3, 5])).any()
+
+
+def test_nt_store_invalidates_cached_copy_without_extra_writeback():
+    events = []
+    h = single_level(sink=lambda b: events.extend(b.tolist()))
+    h.access(0, 1, write=True)  # dirty in cache
+    h.store_nontemporal(np.array([0]))
+    # Exactly one NVM write: the NT store supersedes the dirty line.
+    assert events == [0]
+    assert not h.llc.contains(np.array([0])).any()
+
+
+def test_nt_store_deduplicates_blocks():
+    h = single_level()
+    h.store_nontemporal(np.array([7, 7, 7]))
+    assert h.stats.nvm_writes_from_nt == 1
+
+
+def test_managed_nt_scatter_persists_values():
+    rt = Runtime()
+    ws = Workspace(rt)
+    a = ws.array("a", (64,))
+    a.write_at(np.array([0, 9, 33]), np.array([1.0, 2.0, 3.0]), nontemporal=True)
+    nvm = a.obj.nvm_view()
+    assert nvm[9] == 2.0 and nvm[33] == 3.0
+    # A crash right now loses nothing of the scattered data.
+    rt.hierarchy.invalidate_all()
+    assert a.obj.nvm_view()[9] == 2.0
+
+
+def test_nt_counts_kept_separate_from_flush_counts():
+    rt = Runtime()
+    ws = Workspace(rt)
+    a = ws.array("a", (64,))
+    a.write_at(np.array([1, 9]), np.array([1.0, 2.0]), nontemporal=True)  # distinct blocks
+    stats = rt.hierarchy.stats
+    assert stats.nvm_writes_from_nt == 2
+    assert stats.nvm_writes_from_flushes == 0
+    assert stats.nvm_writes == 2

@@ -1,0 +1,77 @@
+"""Round decomposition: the exactness-preserving access grouping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.rounds import iter_rounds_contiguous, iter_rounds_generic
+
+
+def test_contiguous_chunks():
+    rounds = list(iter_rounds_contiguous(0, 10, 4))
+    assert [r.tolist() for r in rounds] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+
+def test_contiguous_unaligned_start():
+    rounds = list(iter_rounds_contiguous(3, 9, 4))
+    assert [r.tolist() for r in rounds] == [[3, 4, 5, 6], [7, 8]]
+
+
+def test_contiguous_empty():
+    assert list(iter_rounds_contiguous(5, 5, 4)) == []
+
+
+def test_generic_preserves_per_set_order():
+    blocks = np.array([0, 4, 0, 8, 4, 1])
+    rounds = [r.tolist() for r in iter_rounds_generic(blocks, 4)]
+    # Set 0 receives 0, 4, 0, 8, 4 (in that order); set 1 receives 1.
+    flattened_per_set = {}
+    for rnd in rounds:
+        for b in rnd:
+            flattened_per_set.setdefault(b % 4, []).append(b)
+    assert flattened_per_set[0] == [0, 4, 0, 8, 4]
+    assert flattened_per_set[1] == [1]
+
+
+def test_generic_rounds_have_unique_sets():
+    blocks = np.array([0, 4, 8, 12, 1, 5, 0, 0])
+    for rnd in iter_rounds_generic(blocks, 4):
+        sets = rnd % 4
+        assert len(np.unique(sets)) == len(sets)
+
+
+def test_generic_empty():
+    assert list(iter_rounds_generic(np.array([], dtype=np.int64), 4)) == []
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(0, 63), min_size=1, max_size=50),
+    st.sampled_from([1, 2, 4, 8, 16]),
+)
+def test_generic_properties(blocks, min_sets):
+    arr = np.array(blocks, dtype=np.int64)
+    rounds = list(iter_rounds_generic(arr, min_sets))
+    # Every access appears exactly once across rounds.
+    total = np.concatenate(rounds) if rounds else np.array([], dtype=np.int64)
+    assert sorted(total.tolist()) == sorted(blocks)
+    # Rounds have pairwise-distinct sets.
+    for rnd in rounds:
+        sets = rnd % min_sets
+        assert len(np.unique(sets)) == len(sets)
+    # Per-set subsequence order is preserved.
+    for s in range(min_sets):
+        original = [b for b in blocks if b % min_sets == s]
+        regrouped = [b for rnd in rounds for b in rnd.tolist() if b % min_sets == s]
+        assert original == regrouped
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 100), st.integers(0, 64), st.sampled_from([2, 4, 8]))
+def test_contiguous_covers_range(lo, n, min_sets):
+    rounds = list(iter_rounds_contiguous(lo, lo + n, min_sets))
+    total = np.concatenate(rounds) if rounds else np.array([], dtype=np.int64)
+    assert total.tolist() == list(range(lo, lo + n))
+    for rnd in rounds:
+        assert len(rnd) <= min_sets

@@ -1,0 +1,46 @@
+"""Application characterization profiles."""
+
+import pytest
+
+from repro.apps.base import AppFactory
+from repro.nvct.characterize import characterize
+from tests.nvct.test_campaign import Counterloop
+
+
+@pytest.fixture(scope="module")
+def character():
+    return characterize(AppFactory(Counterloop, size=256, nit=4))
+
+
+def test_objects_profiled(character):
+    names = {o.name for o in character.objects}
+    assert {"acc", "scratch", "it"} <= names
+
+
+def test_read_write_counts(character):
+    by = {o.name: o for o in character.objects}
+    # acc: one in-place update (write) per iteration, 32 blocks each.
+    assert by["acc"].writes == 4 * 32
+    # scratch: written then read every iteration.
+    assert by["scratch"].writes == 4 * 32
+    assert by["scratch"].reads == 4 * 32
+    assert by["scratch"].rw_ratio == pytest.approx(1.0)
+
+
+def test_regions_attributed(character):
+    by = {o.name: o for o in character.objects}
+    assert "R2" in by["acc"].regions
+    assert "R1" in by["scratch"].regions
+
+
+def test_candidacy_and_footprint(character):
+    by = {o.name: o for o in character.objects}
+    assert by["acc"].candidate
+    assert not by["it"].candidate
+    assert character.footprint_bytes >= 2 * 256 * 8
+    assert character.iterations == 4
+
+
+def test_render_is_a_table(character):
+    text = character.render()
+    assert "Object" in text and "acc" in text and "R/W" in text

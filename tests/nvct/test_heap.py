@@ -1,0 +1,101 @@
+"""Persistent heap: layout, NVM image maintenance, inconsistency."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError
+from repro.memsim.blocks import BLOCK_SIZE
+from repro.nvct.heap import PersistentHeap
+
+
+def test_objects_are_block_aligned_and_disjoint():
+    heap = PersistentHeap()
+    a = heap.allocate("a", (10,), np.float64)
+    b = heap.allocate("b", (100,), np.float64)
+    assert a.base_block * BLOCK_SIZE % BLOCK_SIZE == 0
+    assert b.base_block >= a.end_block + 1  # guard block
+
+
+def test_duplicate_name_rejected():
+    heap = PersistentHeap()
+    heap.allocate("a", (4,))
+    with pytest.raises(AllocationError):
+        heap.allocate("a", (4,))
+
+
+def test_readonly_candidate_rejected():
+    heap = PersistentHeap()
+    with pytest.raises(AllocationError):
+        heap.allocate("a", (4,), candidate=True, readonly=True)
+
+
+def test_empty_allocation_rejected():
+    heap = PersistentHeap()
+    with pytest.raises(AllocationError):
+        heap.allocate("a", (0,))
+
+
+def test_writeback_copies_exact_blocks():
+    heap = PersistentHeap()
+    a = heap.allocate("a", (32,), np.float64)  # 256 bytes = 4 blocks
+    a.data[...] = np.arange(32.0)
+    # Write back only the second block (elements 8..15).
+    heap.writeback_blocks(np.array([a.base_block + 1]))
+    nvm = a.nvm_view()
+    assert np.array_equal(nvm[8:16], np.arange(8.0, 16.0))
+    assert np.all(nvm[:8] == 0.0) and np.all(nvm[16:] == 0.0)
+
+
+def test_writeback_ignores_unowned_blocks():
+    heap = PersistentHeap()
+    a = heap.allocate("a", (8,), np.float64)
+    heap.writeback_blocks(np.array([a.end_block + 50]))  # guard/no-man's land
+    assert np.all(a.nvm_bytes == 0)
+
+
+def test_writeback_respects_padding_tail():
+    heap = PersistentHeap()
+    a = heap.allocate("a", (9,), np.float64)  # 72 bytes -> 2 blocks, padded
+    a.data[...] = 1.0
+    heap.writeback_blocks(np.arange(a.base_block, a.end_block))
+    assert np.array_equal(a.nvm_view(), np.ones(9))
+
+
+def test_inconsistent_rate_counts_differing_bytes():
+    heap = PersistentHeap()
+    a = heap.allocate("a", (16,), np.float64)  # 128 bytes
+    a.data[...] = 1.0
+    a.sync_nvm()
+    # Flip every byte of the first 8 doubles (64 bytes).
+    a.data_bytes[:64] ^= 0xFF
+    assert a.inconsistent_rate() == pytest.approx(0.5)
+    # 1.0 -> 2.0 differs in exactly 2 of 8 bytes per double.
+    a.data_bytes[:64] ^= 0xFF
+    a.data[:8] = 2.0
+    assert a.inconsistent_rate() == pytest.approx(2 * 8 / 128)
+
+
+def test_snapshot_includes_candidates_and_iterator_only():
+    heap = PersistentHeap()
+    heap.allocate("cand", (8,), candidate=True)
+    heap.allocate("ro", (8,), candidate=False, readonly=True)
+    heap.allocate("it", (1,), np.int64, candidate=False, role="iterator")
+    snap = heap.snapshot_nvm()
+    assert set(snap) == {"cand", "it"}
+
+
+def test_snapshot_consistent_uses_architectural_bytes():
+    heap = PersistentHeap()
+    a = heap.allocate("a", (8,))
+    a.data[...] = 7.0
+    snap = heap.snapshot_consistent()
+    assert np.array_equal(snap["a"].view(np.float64), np.full(8, 7.0))
+    assert np.all(heap.snapshot_nvm()["a"] == 0)
+
+
+def test_footprint_and_candidate_bytes():
+    heap = PersistentHeap()
+    heap.allocate("a", (16,), candidate=True)
+    heap.allocate("b", (16,), candidate=False, readonly=True)
+    assert heap.footprint_bytes() == 2 * 16 * 8
+    assert heap.candidate_bytes() == 16 * 8

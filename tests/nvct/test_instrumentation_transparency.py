@@ -1,0 +1,114 @@
+"""Instrumentation transparency: simulating the memory system must never
+change what the application computes.
+
+Property: any sequence of managed-array operations produces bit-identical
+architectural state under (a) no runtime, (b) the counting runtime,
+(c) the full single-core runtime, and (d) the multi-core runtime —
+including runs where crash snapshots fire mid-operation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.config import CacheLevelConfig, HierarchyConfig
+from repro.nvct.managed import Workspace
+from repro.nvct.multicore_runtime import MulticoreRuntime
+from repro.nvct.runtime import CountingRuntime, Runtime
+
+N_ELEMS = 96  # 12 blocks
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, N_ELEMS - 1), st.integers(1, N_ELEMS),
+                  st.floats(-10, 10, allow_nan=False)),
+        st.tuples(st.just("update"), st.integers(0, N_ELEMS - 1), st.integers(1, N_ELEMS),
+                  st.floats(-2, 2, allow_nan=False)),
+        st.tuples(st.just("scatter"),
+                  st.lists(st.integers(0, N_ELEMS - 1), min_size=1, max_size=8, unique=True),
+                  st.floats(-10, 10, allow_nan=False)),
+        st.tuples(st.just("read"), st.integers(0, N_ELEMS - 1), st.integers(1, N_ELEMS)),
+        st.tuples(st.just("persist")),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def run_ops(runtime, op_list, crash_points=None):
+    ws = Workspace(runtime)
+    a = ws.array("a", (N_ELEMS,))
+    if runtime is not None:
+        runtime.main_loop_begin()
+    for op in op_list:
+        if op[0] == "write":
+            _, lo, n, v = op
+            a.write(slice(lo, min(N_ELEMS, lo + n)), v)
+        elif op[0] == "update":
+            _, lo, n, v = op
+            a.update(slice(lo, min(N_ELEMS, lo + n)), lambda x, v=v: np.add(x, v, out=x))
+        elif op[0] == "scatter":
+            _, idx, v = op
+            a.write_at(np.array(idx), np.full(len(idx), v))
+        elif op[0] == "read":
+            _, lo, n = op
+            a.read(slice(lo, min(N_ELEMS, lo + n)))
+        elif op[0] == "persist":
+            a.persist()
+    return a.np.copy()
+
+
+def tiny_hier():
+    return HierarchyConfig((CacheLevelConfig("LLC", 4 * 2 * 64, 2),))
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_strategy)
+def test_all_runtimes_compute_identical_state(op_list):
+    plain = run_ops(None, op_list)
+    counting = run_ops(CountingRuntime(), op_list)
+    single = run_ops(Runtime(hierarchy=tiny_hier()), op_list)
+    multi = run_ops(MulticoreRuntime(n_cores=2,
+                                     l1=CacheLevelConfig("L1", 2 * 1 * 64, 1),
+                                     llc=CacheLevelConfig("LLC", 4 * 2 * 64, 2)),
+                    op_list)
+    assert np.array_equal(plain, counting)
+    assert np.array_equal(plain, single)
+    assert np.array_equal(plain, multi)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops_strategy, st.integers(1, 200))
+def test_crash_snapshots_do_not_perturb_final_state(op_list, point):
+    plain = run_ops(None, op_list)
+    rt = Runtime(hierarchy=tiny_hier(), crash_points=[point])
+    crashed = run_ops(rt, op_list)
+    assert np.array_equal(plain, crashed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops_strategy)
+def test_nvm_image_converges_after_full_flush(op_list):
+    rt = Runtime(hierarchy=tiny_hier())
+    ws = Workspace(rt)
+    a = ws.array("a", (N_ELEMS,))
+    rt.main_loop_begin()
+    for op in op_list:
+        if op[0] == "write":
+            _, lo, n, v = op
+            a.write(slice(lo, min(N_ELEMS, lo + n)), v)
+        elif op[0] == "update":
+            _, lo, n, v = op
+            a.update(slice(lo, min(N_ELEMS, lo + n)), lambda x, v=v: np.add(x, v, out=x))
+        elif op[0] == "scatter":
+            _, idx, v = op
+            a.write_at(np.array(idx), np.full(len(idx), v))
+        elif op[0] == "read":
+            _, lo, n = op
+            a.read(slice(lo, min(N_ELEMS, lo + n)))
+        elif op[0] == "persist":
+            a.persist()
+    a.persist()
+    assert a.obj.inconsistent_rate() == 0.0
+    assert np.array_equal(a.obj.nvm_view(), a.np)

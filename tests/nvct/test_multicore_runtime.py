@@ -1,0 +1,81 @@
+"""Multi-core runtime and the multi-threaded-conclusions-match property."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AppFactory
+from repro.apps.parallel_kmeans import ParallelKMeans
+from repro.errors import ConfigError
+from repro.nvct.campaign import CampaignConfig, run_campaign
+from repro.nvct.managed import Workspace
+from repro.nvct.multicore_runtime import MulticoreRuntime
+from repro.nvct.plan import PersistencePlan
+
+
+def test_core_scoping():
+    rt = MulticoreRuntime(n_cores=4)
+    ws = Workspace(rt)
+    a = ws.array("a", (64,))
+    with rt.on_core(2):
+        a.write(slice(0, 32), 1.0)
+    assert rt.hierarchy.l1s[2].resident_dirty_blocks().size > 0
+    assert rt.hierarchy.l1s[0].resident_dirty_blocks().size == 0
+    with pytest.raises(ConfigError):
+        with rt.on_core(9):
+            pass
+
+
+def test_parallel_chunks_cover_everything():
+    rt = MulticoreRuntime(n_cores=3)
+    chunks = rt.parallel_chunks(10)
+    seen = []
+    for core, sl in chunks:
+        assert 0 <= core < 3
+        seen.extend(range(sl.start, sl.stop))
+    assert seen == list(range(10))
+
+
+def test_flush_gathers_all_cores_dirty_lines():
+    rt = MulticoreRuntime(n_cores=2)
+    ws = Workspace(rt)
+    a = ws.array("a", (32,))  # 4 blocks
+    with rt.on_core(0):
+        a.write(slice(0, 16), 1.0)
+    with rt.on_core(1):
+        a.write(slice(16, 32), 2.0)
+    a.persist()
+    assert np.all(a.obj.nvm_view()[:16] == 1.0)
+    assert np.all(a.obj.nvm_view()[16:] == 2.0)
+
+
+def test_parallel_kmeans_matches_serial_result():
+    serial = AppFactory(ParallelKMeans, n_points=2048, n_features=4, k=6, seed=7)
+    app_serial = serial.make(None)
+    r1 = app_serial.run()
+
+    rt = MulticoreRuntime(n_cores=4)
+    app_mt = ParallelKMeans(runtime=rt, n_points=2048, n_features=4, k=6, seed=7)
+    app_mt.setup()
+    r2 = app_mt.run()
+    assert r1.iterations == r2.iterations
+    assert app_serial.reference_outcome() == pytest.approx(app_mt.reference_outcome())
+
+
+def test_multithreaded_campaign_reaches_same_conclusions():
+    """Paper Sec. 4.1: "the conclusions we draw from the results of
+    multiple threads are the same as those of single thread"."""
+    factory = AppFactory(ParallelKMeans, n_points=4096, n_features=4, k=6, seed=7)
+    plans = {
+        "none": PersistencePlan.none(),
+        "crit": PersistencePlan.at_loop_end(["centroids", "inertia", "assign"]),
+    }
+    results = {}
+    for cores in (1, 4):
+        for label, plan in plans.items():
+            cfg = CampaignConfig(n_tests=25, seed=9, plan=plan, n_cores=cores)
+            results[(cores, label)] = run_campaign(factory, cfg).recomputability()
+    # Same qualitative conclusion on 1 and 4 cores: persistence repairs
+    # the fragile baseline.
+    for cores in (1, 4):
+        assert results[(cores, "crit")] > results[(cores, "none")] + 0.3
+    assert abs(results[(1, "crit")] - results[(4, "crit")]) < 0.25

@@ -1,0 +1,55 @@
+"""PersistencePlan semantics."""
+
+import pytest
+
+from repro.nvct.plan import PersistencePlan
+
+
+def test_none_is_inactive():
+    p = PersistencePlan.none()
+    assert not p.is_active
+    assert p.persist_iterator
+
+
+def test_none_without_iterator():
+    p = PersistencePlan.none(persist_iterator=False)
+    assert not p.persist_iterator
+
+
+def test_loop_end_plan():
+    p = PersistencePlan.at_loop_end(["a", "b"], frequency=3)
+    assert p.is_active
+    assert p.at_iteration_end
+    assert p.iteration_frequency == 3
+    assert p.objects == ("a", "b")
+
+
+def test_per_region_flush_schedule():
+    p = PersistencePlan.per_region(["a"], {"R1": 2, "R3": 1})
+    assert p.flushes_at("R1", 2)
+    assert not p.flushes_at("R1", 3)
+    assert p.flushes_at("R3", 1) and p.flushes_at("R3", 7)
+    assert not p.flushes_at("R2", 4)
+
+
+def test_every_region():
+    p = PersistencePlan.every_region(["a"], ["R1", "R2"])
+    assert p.flushes_at("R1", 1) and p.flushes_at("R2", 99)
+
+
+def test_objects_without_schedule_is_inactive():
+    p = PersistencePlan(objects=("a",))
+    assert not p.is_active
+
+
+def test_invalid_frequencies_rejected():
+    with pytest.raises(ValueError):
+        PersistencePlan.per_region(["a"], {"R1": 0})
+    with pytest.raises(ValueError):
+        PersistencePlan.at_loop_end(["a"], frequency=0)
+
+
+def test_plans_are_hashable_and_comparable():
+    a = PersistencePlan.at_loop_end(["x"])
+    b = PersistencePlan.at_loop_end(["x"])
+    assert a == b

@@ -1,0 +1,33 @@
+"""Postmortem report rendering."""
+
+from repro.nvct.campaign import CampaignConfig, run_campaign
+from repro.nvct.report import (
+    campaign_summary,
+    object_inconsistency_table,
+    region_breakdown,
+)
+from tests.nvct.test_campaign import factory
+
+
+def campaign():
+    return run_campaign(factory(), CampaignConfig(n_tests=15, seed=2))
+
+
+def test_summary_mentions_recomputability():
+    res = campaign()
+    text = campaign_summary(res)
+    assert "recomputability" in text
+    assert "S1" in text and "S4" in text
+    assert res.app in text
+
+
+def test_region_breakdown_lists_regions():
+    text = region_breakdown(campaign())
+    assert "R1" in text and "R2" in text
+    assert "Time share" in text
+
+
+def test_object_table_lists_candidates():
+    text = object_inconsistency_table(campaign())
+    assert "acc" in text
+    assert "Mean | failure" in text

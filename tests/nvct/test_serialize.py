@@ -1,0 +1,55 @@
+"""Campaign serialization round-trip."""
+
+import pytest
+
+from repro.core.selection import select_critical_objects
+from repro.nvct.campaign import CampaignConfig, run_campaign
+from repro.nvct.plan import PersistencePlan
+from repro.nvct.serialize import load_campaign, save_campaign
+from tests.nvct.test_campaign import factory
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    plan = PersistencePlan.per_region(["acc"], {"R2": 2}, at_iteration_end=True)
+    return run_campaign(factory(), CampaignConfig(n_tests=15, seed=8, plan=plan))
+
+
+def test_roundtrip_records(tmp_path, campaign):
+    path = save_campaign(campaign, tmp_path / "camp.json")
+    loaded = load_campaign(path)
+    assert loaded.app == campaign.app
+    assert loaded.golden_iterations == campaign.golden_iterations
+    assert len(loaded.records) == len(campaign.records)
+    for a, b in zip(loaded.records, campaign.records):
+        assert (a.counter, a.iteration, a.region, a.response) == (
+            b.counter, b.iteration, b.region, b.response
+        )
+        assert a.rates == pytest.approx(b.rates)
+
+
+def test_roundtrip_plan(tmp_path, campaign):
+    loaded = load_campaign(save_campaign(campaign, tmp_path / "c.json"))
+    assert loaded.plan == campaign.plan
+
+
+def test_roundtrip_metrics_agree(tmp_path, campaign):
+    loaded = load_campaign(save_campaign(campaign, tmp_path / "c.json"))
+    assert loaded.recomputability() == campaign.recomputability()
+    assert loaded.region_time_shares() == pytest.approx(campaign.region_time_shares())
+    assert loaded.run_stats.memory.nvm_writes == campaign.run_stats.memory.nvm_writes
+    assert loaded.run_stats.persist_op_count == campaign.run_stats.persist_op_count
+
+
+def test_loaded_campaign_feeds_selection(tmp_path, campaign):
+    loaded = load_campaign(save_campaign(campaign, tmp_path / "c.json"))
+    sel_orig = select_critical_objects(campaign)
+    sel_loaded = select_critical_objects(loaded)
+    assert sel_orig.critical == sel_loaded.critical
+
+
+def test_bad_format_rejected(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text('{"format": 999}')
+    with pytest.raises(ValueError):
+        load_campaign(p)

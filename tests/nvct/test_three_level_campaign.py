@@ -1,0 +1,75 @@
+"""Crash campaigns on the full three-level hierarchy.
+
+The default campaigns use a single scaled LLC; these tests exercise the
+paper-like inclusive multi-level configuration end to end and check the
+claims that justify the default: persistence exposure is governed by the
+LLC, and flushing repairs recomputability identically.
+"""
+
+import pytest
+
+from repro.memsim.config import HierarchyConfig
+from repro.nvct.campaign import CampaignConfig, run_campaign
+from repro.nvct.plan import PersistencePlan
+from tests.nvct.test_campaign import factory
+
+
+def three_level():
+    # Scaled three-level hierarchy whose LLC matches the single-level size
+    # used elsewhere in these tests.
+    from repro.memsim.config import CacheLevelConfig
+
+    return HierarchyConfig(
+        (
+            CacheLevelConfig("L1", 4 * 1024, 4),
+            CacheLevelConfig("L2", 16 * 1024, 8),
+            CacheLevelConfig("L3", 64 * 1024, 8),
+        )
+    )
+
+
+def test_three_level_campaign_runs_and_classifies():
+    cfg = CampaignConfig(n_tests=20, seed=4, hierarchy=three_level())
+    res = run_campaign(factory(size=4096, nit=6), cfg)
+    assert res.n_tests == 20
+    assert 0.0 <= res.recomputability() <= 1.0
+
+
+def test_flush_repair_holds_on_three_levels():
+    fac = factory(size=4096, nit=6)
+    base = run_campaign(
+        fac, CampaignConfig(n_tests=25, seed=4, hierarchy=three_level())
+    )
+    flushed = run_campaign(
+        fac,
+        CampaignConfig(
+            n_tests=25, seed=4, hierarchy=three_level(),
+            plan=PersistencePlan.at_loop_end(["acc"]),
+        ),
+    )
+    assert flushed.recomputability() > base.recomputability()
+    assert flushed.recomputability() > 0.9
+
+
+def test_llc_governs_persistence_exposure():
+    """A 3-level hierarchy and a single-level cache of the same LLC size
+    should expose a similar amount of unpersisted state (the upper levels
+    are strictly contained in the LLC by inclusivity)."""
+    fac = factory(size=4096, nit=6)
+    multi = run_campaign(
+        fac, CampaignConfig(n_tests=30, seed=4, hierarchy=three_level())
+    )
+    single = run_campaign(
+        fac,
+        CampaignConfig(
+            n_tests=30, seed=4, hierarchy=HierarchyConfig.scaled_llc(64 * 1024, 8)
+        ),
+    )
+    assert abs(multi.recomputability() - single.recomputability()) < 0.3
+
+
+def test_paper_like_hierarchy_configuration_is_valid():
+    cfg = HierarchyConfig.paper_like()
+    assert cfg.llc.size_bytes == 16 * 1024 * 1024
+    assert len(cfg.levels) == 3
+    assert cfg.min_sets == min(lv.num_sets for lv in cfg.levels)

@@ -1,0 +1,79 @@
+"""Cost model and NVM configurations."""
+
+import pytest
+
+from repro.memsim.stats import CacheStats, MemoryStats
+from repro.perf.costmodel import CostModel
+from repro.perf.nvmconfigs import NVM_CONFIGS, NVMConfig
+
+
+def stats(accesses=1000, fills=100, evict=50, flush_issued=0, flush_dirty=0, nt=0):
+    cs = CacheStats(read_accesses=accesses, flush_issued=flush_issued)
+    ms = MemoryStats(per_level={"LLC": cs})
+    ms.nvm_fills = fills
+    ms.nvm_writes_from_evictions = evict
+    ms.nvm_writes_from_flushes = flush_dirty
+    ms.nvm_writes_from_nt = nt
+    ms.nvm_writes = evict + flush_dirty + nt
+    return ms
+
+
+def test_time_monotone_in_events():
+    cm = CostModel()
+    base = cm.run_cost(stats()).total
+    assert cm.run_cost(stats(fills=200)).total > base
+    assert cm.run_cost(stats(evict=100)).total > base
+    assert cm.run_cost(stats(flush_issued=100, flush_dirty=50)).total > base
+
+
+def test_normalized_time_of_identical_runs_is_one():
+    cm = CostModel()
+    assert cm.normalized_time(stats(), stats()) == pytest.approx(1.0)
+
+
+def test_flushes_cost_more_on_slow_nvm():
+    cm = CostModel()
+    s = stats(flush_issued=500, flush_dirty=400)
+    b = stats()
+    ratios = {
+        name: cm.normalized_time(s, b, nvm)
+        for name, nvm in NVM_CONFIGS.items()
+    }
+    assert ratios["4x latency"] > ratios["DRAM"]
+    assert ratios["8x latency"] > ratios["4x latency"]
+    # Latency-bound flushes hurt more than bandwidth throttling (paper
+    # Fig. 7: 48%/62% vs 21%/22% for the no-EasyCrash baseline).
+    assert ratios["8x latency"] > ratios["1/8 bandwidth"]
+
+
+def test_invalidate_doubles_flush_component():
+    cm = CostModel()
+    s = stats(flush_issued=100, flush_dirty=100)
+    clwb = cm.run_cost(s, invalidate=False)
+    clflush = cm.run_cost(s, invalidate=True)
+    assert clflush.flushes == pytest.approx(2.0 * clwb.flushes)
+    assert clflush.compute == clwb.compute
+
+
+def test_nt_stores_counted_in_compute_and_writeback():
+    cm = CostModel()
+    with_nt = cm.run_cost(stats(nt=500)).total
+    without = cm.run_cost(stats()).total
+    assert with_nt > without
+
+
+def test_estimate_flush_once_clwb_vs_clflush():
+    cm = CostModel()
+    clwb = cm.estimate_flush_once(1000, invalidate=False)
+    clflush = cm.estimate_flush_once(1000, invalidate=True)
+    assert clflush == pytest.approx(cm.invalidate_reload_penalty * clwb)
+
+
+def test_nvm_config_validation():
+    with pytest.raises(ValueError):
+        NVMConfig("bad", 0.0, 1.0, 1.0)
+
+
+def test_all_paper_configs_present():
+    assert {"DRAM", "4x latency", "8x latency", "1/6 bandwidth", "1/8 bandwidth",
+            "Optane DC PMM"} == set(NVM_CONFIGS)

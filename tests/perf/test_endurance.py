@@ -1,0 +1,82 @@
+"""NVM wear/endurance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.nvct.heap import PersistentHeap
+from repro.nvct.managed import Workspace
+from repro.nvct.plan import PersistencePlan
+from repro.nvct.runtime import Runtime
+from repro.perf.endurance import WearProfile, analyze_wear
+
+
+def tracked_run(plan=None, nit=6):
+    from tests.nvct.test_campaign import Counterloop
+
+    rt = Runtime(plan=plan)
+    rt.track_write_counts = True
+    app = Counterloop(runtime=rt, size=4096, nit=nit)
+    app.setup()
+    app.run()
+    rt.hierarchy.writeback_all()
+    return rt
+
+
+def test_requires_tracking_flag():
+    heap = PersistentHeap()
+    with pytest.raises(RuntimeError):
+        heap.write_counts()
+
+
+def test_counters_match_nvm_write_totals():
+    rt = tracked_run()
+    counts = rt.heap.heap_counts if False else rt.heap.write_counts()
+    # Every NVM write the hierarchy reported lands in some counted block
+    # (checkpoint-region writes would fall outside; none here).
+    assert counts.sum() == rt.hierarchy.stats.nvm_writes
+
+
+def test_flushing_increases_write_counts():
+    base = tracked_run()
+    flushed = tracked_run(plan=PersistencePlan.at_loop_end(["acc"]))
+    assert flushed.heap.write_counts().sum() >= base.heap.write_counts().sum()
+
+
+def test_wear_profile_fields():
+    rt = tracked_run(plan=PersistencePlan.at_loop_end(["acc"]))
+    prof = analyze_wear(rt.heap)
+    assert prof.total_writes > 0
+    assert 0 < prof.blocks_written <= prof.total_blocks
+    assert prof.max_block_writes >= prof.mean_block_writes
+    assert prof.hotspot_ratio >= 1.0
+    assert 0.0 <= prof.gini < 1.0
+
+
+def test_lifetime_estimates():
+    rt = tracked_run(plan=PersistencePlan.at_loop_end(["acc"]))
+    prof = analyze_wear(rt.heap)
+    unleveled = prof.lifetime_scale(cell_endurance=1e8)
+    leveled = prof.lifetime_scale_leveled(cell_endurance=1e8)
+    assert leveled >= unleveled > 0
+    assert prof.leveling_gain() == pytest.approx(leveled / unleveled)
+
+
+def test_uniform_writes_have_zero_gini():
+    prof = WearProfile(
+        total_writes=100,
+        blocks_written=10,
+        total_blocks=20,
+        max_block_writes=10,
+        mean_block_writes=10.0,
+        hotspot_ratio=1.0,
+        gini=0.0,
+    )
+    assert prof.leveling_gain() == pytest.approx(2.0)  # half the device idle
+
+
+def test_empty_profile_is_infinite_lifetime():
+    heap = PersistentHeap(track_write_counts=True)
+    heap.allocate("a", (8,))
+    prof = analyze_wear(heap)
+    assert prof.lifetime_scale() == float("inf")
+    assert prof.gini == 0.0

@@ -1,0 +1,149 @@
+"""System-efficiency model (Sec. 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.system.efficiency import (
+    SystemParams,
+    efficiency_baseline,
+    efficiency_easycrash,
+    efficiency_improvement,
+    recomputability_threshold,
+)
+from repro.system.mtbf import HOUR, mtbf_for_nodes
+
+
+def params(t_chk=3200.0, mtbf=12 * HOUR):
+    return SystemParams(mtbf_s=mtbf, t_chk_s=t_chk)
+
+
+def test_mtbf_scaling():
+    assert mtbf_for_nodes(100_000) == pytest.approx(12 * HOUR)
+    assert mtbf_for_nodes(200_000) == pytest.approx(6 * HOUR)
+    assert mtbf_for_nodes(400_000) == pytest.approx(3 * HOUR)
+    with pytest.raises(ValueError):
+        mtbf_for_nodes(0)
+
+
+def test_efficiency_in_unit_interval():
+    for t_chk in (32, 320, 3200):
+        e = efficiency_baseline(params(t_chk))
+        assert 0.0 <= e <= 1.0
+
+
+def test_baseline_decreases_with_checkpoint_cost():
+    e32 = efficiency_baseline(params(32))
+    e320 = efficiency_baseline(params(320))
+    e3200 = efficiency_baseline(params(3200))
+    assert e32 > e320 > e3200
+
+
+def test_baseline_decreases_with_failure_rate():
+    e12 = efficiency_baseline(params(mtbf=12 * HOUR))
+    e3 = efficiency_baseline(params(mtbf=3 * HOUR))
+    assert e12 > e3
+
+
+def test_easycrash_beats_baseline_at_high_recomputability():
+    p = params(3200)
+    assert efficiency_easycrash(p, 0.82, 0.015) > efficiency_baseline(p)
+
+
+def test_gain_grows_with_checkpoint_cost():
+    # Paper Fig. 10: 2% at T_chk=32 s, 15% at 3200 s (average R=0.82).
+    gains = [efficiency_improvement(params(t), 0.82, 0.015) for t in (32, 320, 3200)]
+    assert gains[0] < gains[1] < gains[2]
+    assert 0.0 < gains[0] < 0.05
+    assert 0.1 < gains[2] < 0.3
+
+
+def test_gain_grows_with_machine_scale():
+    # Paper Fig. 11: EasyCrash helps more as the system scales.
+    gains = [
+        efficiency_improvement(
+            SystemParams(mtbf_s=mtbf_for_nodes(n), t_chk_s=3200), 0.82, 0.015
+        )
+        for n in (100_000, 200_000, 400_000)
+    ]
+    assert gains[0] < gains[1] < gains[2]
+
+
+def test_easycrash_monotone_in_recomputability():
+    p = params(3200)
+    vals = [efficiency_easycrash(p, r, 0.015) for r in (0.0, 0.3, 0.6, 0.9)]
+    assert vals == sorted(vals)
+
+
+def test_overhead_ts_reduces_efficiency():
+    p = params(3200)
+    assert efficiency_easycrash(p, 0.8, 0.0) > efficiency_easycrash(p, 0.8, 0.05)
+
+
+def test_tau_definition():
+    p = params(3200)
+    tau = recomputability_threshold(p, ts=0.015)
+    assert 0.0 < tau < 1.0
+    eps = 0.02
+    assert efficiency_easycrash(p, min(tau + eps, 0.999), 0.015) > efficiency_baseline(p)
+    if tau > eps:
+        assert efficiency_easycrash(p, tau - eps, 0.015) <= efficiency_baseline(p) + 1e-6
+
+
+def test_tau_decreases_with_checkpoint_cost():
+    # Cheap checkpoints leave little room for EasyCrash: τ is higher.
+    taus = [recomputability_threshold(params(t), 0.015) for t in (32, 320, 3200)]
+    assert taus[0] > taus[1] > taus[2]
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        SystemParams(mtbf_s=-1.0, t_chk_s=32.0)
+    with pytest.raises(ValueError):
+        efficiency_easycrash(params(), -0.1, 0.01)
+    with pytest.raises(ValueError):
+        efficiency_easycrash(params(), 0.5, 1.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(min_value=60.0, max_value=1e6),
+    st.floats(min_value=1.0, max_value=1e4),
+    st.floats(min_value=0.0, max_value=0.999),
+    st.floats(min_value=0.0, max_value=0.2),
+)
+def test_property_efficiency_bounds(mtbf, t_chk, r, ts):
+    p = SystemParams(mtbf_s=mtbf, t_chk_s=t_chk)
+    assert 0.0 <= efficiency_baseline(p) <= 1.0
+    assert 0.0 <= efficiency_easycrash(p, r, ts) <= 1.0
+
+
+def test_young_interval_near_optimal():
+    """El-Sayed & Schroeder (cited by the paper): Young's first-order
+    interval performs almost identically to the true optimum."""
+    from repro.system.efficiency import efficiency_at_interval, optimal_interval
+
+    for t_chk in (32.0, 320.0, 3200.0):
+        p = params(t_chk)
+        t_young = p.young_interval()
+        t_opt = optimal_interval(p)
+        e_young = efficiency_at_interval(p, t_young)
+        e_opt = efficiency_at_interval(p, t_opt)
+        assert e_opt >= e_young - 1e-9
+        assert e_opt - e_young < 0.02  # within 2% efficiency
+
+
+def test_efficiency_at_interval_validates():
+    from repro.system.efficiency import efficiency_at_interval
+
+    with pytest.raises(ValueError):
+        efficiency_at_interval(params(), -5.0)
+
+
+def test_efficiency_at_young_matches_baseline():
+    from repro.system.efficiency import efficiency_at_interval, efficiency_baseline
+
+    p = params(320.0)
+    assert efficiency_at_interval(p, p.young_interval()) == pytest.approx(
+        efficiency_baseline(p)
+    )

@@ -1,0 +1,102 @@
+"""CLI commands (driven in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_list_apps(capsys):
+    code, out = run_cli(capsys, "list-apps")
+    assert code == 0
+    for name in ("CG", "MG", "kmeans", "botsspar"):
+        assert name in out
+
+
+def test_system_model(capsys):
+    code, out = run_cli(
+        capsys, "system", "--mtbf-hours", "12", "--t-chk", "3200",
+        "--recomputability", "0.82", "--ts", "0.015",
+    )
+    assert code == 0
+    assert "with EasyCrash" in out
+    assert "tau" in out
+
+
+def test_campaign_none_plan(capsys):
+    code, out = run_cli(capsys, "campaign", "kmeans", "--tests", "12", "--seed", "3")
+    assert code == 0
+    assert "recomputability" in out
+    assert "per-region breakdown" in out
+    assert "data inconsistent rates" in out
+
+
+def test_campaign_loop_plan(capsys):
+    code, out = run_cli(
+        capsys, "campaign", "kmeans", "--tests", "12", "--plan", "loop"
+    )
+    assert code == 0
+    assert "S1 success" in out
+
+
+def test_plan_command(capsys):
+    code, out = run_cli(capsys, "plan", "kmeans", "--tests", "60")
+    assert code == 0
+    assert "critical objects" in out
+    assert "recomputability" in out
+
+
+def test_unknown_app_raises():
+    with pytest.raises(KeyError):
+        main(["campaign", "NOPE", "--tests", "5"])
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_characterize_command(capsys):
+    code, out = run_cli(capsys, "characterize", "kmeans")
+    assert code == 0
+    assert "centroids" in out and "R/W" in out
+
+
+def test_campaign_save_roundtrip(capsys, tmp_path):
+    from repro.nvct.serialize import load_campaign
+
+    target = tmp_path / "camp.json"
+    code, out = run_cli(capsys, "campaign", "kmeans", "--tests", "8", "--save", str(target))
+    assert code == 0
+    assert target.exists()
+    loaded = load_campaign(target)
+    assert loaded.app == "kmeans"
+    assert loaded.n_tests == 8
+
+
+def test_advise_command(capsys):
+    code, out = run_cli(
+        capsys, "advise", "kmeans", "--tests", "40", "--t-chk", "3200",
+    )
+    assert code == 0
+    assert "tau=" in out
+    assert ("USE EasyCrash" in out) or ("plain C/R" in out)
+
+
+def test_campaign_until_stable(capsys):
+    code, out = run_cli(
+        capsys, "campaign", "kmeans", "--tests", "15", "--until-stable"
+    )
+    assert code == 0
+    assert "stabilized after" in out
+    assert "95% CI" in out

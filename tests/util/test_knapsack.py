@@ -1,0 +1,143 @@
+"""Knapsack solvers validated against brute force on small instances."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.knapsack import knapsack_01, knapsack_multiple_choice
+
+
+def brute_01(values, weights, capacity):
+    best = 0.0
+    n = len(values)
+    for mask in range(1 << n):
+        w = sum(weights[i] for i in range(n) if mask >> i & 1)
+        if w <= capacity + 1e-12:
+            v = sum(values[i] for i in range(n) if mask >> i & 1)
+            best = max(best, v)
+    return best
+
+
+def brute_mc(groups, capacity):
+    best = 0.0
+    options = [[None] + list(range(len(g))) for g in groups]
+    for combo in itertools.product(*options):
+        w = sum(groups[gi][oi][1] for gi, oi in enumerate(combo) if oi is not None)
+        if w <= capacity + 1e-12:
+            v = sum(groups[gi][oi][0] for gi, oi in enumerate(combo) if oi is not None)
+            best = max(best, v)
+    return best
+
+
+def test_01_simple():
+    sol = knapsack_01([10.0, 6.0, 5.0], [0.5, 0.3, 0.3], 0.6)
+    assert sol.value == pytest.approx(11.0)
+    assert set(sol.chosen) == {1, 2}
+    assert sol.weight <= 0.6 + 1e-12
+
+
+def test_01_nothing_fits():
+    sol = knapsack_01([5.0], [2.0], 1.0)
+    assert sol.value == 0.0
+    assert sol.chosen == ()
+
+
+def test_01_zero_weight_items_always_taken():
+    sol = knapsack_01([1.0, 2.0], [0.0, 0.0], 0.0)
+    assert sol.value == pytest.approx(3.0)
+
+
+def test_01_negative_value_items_skipped():
+    sol = knapsack_01([-1.0, 4.0], [0.1, 0.1], 1.0)
+    assert sol.chosen == (1,)
+
+
+def test_01_capacity_never_violated_by_rounding():
+    # Weights that round awkwardly must not exceed the float capacity.
+    values = [1.0] * 7
+    weights = [0.143] * 7  # 7 * 0.143 > 1.0 but 6 * 0.143 < 1.0
+    sol = knapsack_01(values, weights, 1.0, resolution=100)
+    assert sol.weight <= 1.0 + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        min_size=0,
+        max_size=8,
+    ),
+    st.floats(min_value=0.0, max_value=2.0),
+)
+def test_01_matches_brute_force(items, capacity):
+    values = [v for v, _ in items]
+    weights = [w for _, w in items]
+    sol = knapsack_01(values, weights, capacity, resolution=400)
+    ref = brute_01(values, weights, capacity)
+    # Discretization rounds weights *up*, so DP may be slightly conservative
+    # but never infeasible and never better than the true optimum.
+    assert sol.weight <= capacity + 1e-9
+    assert sol.value <= ref + 1e-9
+
+
+def test_mc_simple():
+    groups = [
+        [(1.0, 0.2), (3.0, 0.6)],
+        [(2.0, 0.3)],
+    ]
+    sol = knapsack_multiple_choice(groups, 0.95)
+    assert sol.value == pytest.approx(5.0)
+    assert sol.chosen == (1, 0)
+
+
+def test_mc_skip_is_allowed():
+    groups = [[(5.0, 2.0)], [(1.0, 0.5)]]
+    sol = knapsack_multiple_choice(groups, 1.0)
+    assert sol.chosen == (-1, 0)
+    assert sol.value == pytest.approx(1.0)
+
+
+def test_mc_empty_groups():
+    sol = knapsack_multiple_choice([], 1.0)
+    assert sol.value == 0.0
+    assert sol.chosen == ()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5.0),
+                st.floats(min_value=0.0, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        min_size=0,
+        max_size=4,
+    ),
+    st.floats(min_value=0.0, max_value=2.0),
+)
+def test_mc_matches_brute_force(groups, capacity):
+    sol = knapsack_multiple_choice(groups, capacity, resolution=400)
+    ref = brute_mc(groups, capacity)
+    assert sol.weight <= capacity + 1e-9
+    assert sol.value <= ref + 1e-9
+
+
+def test_mc_exact_when_weights_on_grid():
+    # With weights landing exactly on grid points the DP is exactly optimal.
+    groups = [
+        [(4.0, 0.25), (7.0, 0.5)],
+        [(3.0, 0.25), (5.0, 0.5)],
+        [(2.0, 0.25)],
+    ]
+    sol = knapsack_multiple_choice(groups, 1.0, resolution=4)
+    assert sol.value == pytest.approx(brute_mc(groups, 1.0))

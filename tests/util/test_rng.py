@@ -1,0 +1,40 @@
+"""Tests for deterministic RNG derivation."""
+
+import numpy as np
+
+from repro.util.rng import derive_rng, derive_seed
+
+
+def test_same_keys_same_seed():
+    assert derive_seed(42, "campaign", 3) == derive_seed(42, "campaign", 3)
+
+
+def test_different_root_different_seed():
+    assert derive_seed(42, "campaign") != derive_seed(43, "campaign")
+
+
+def test_different_keys_different_seed():
+    assert derive_seed(42, "a") != derive_seed(42, "b")
+
+
+def test_key_path_is_not_concatenation_ambiguous():
+    # ("ab", "c") must differ from ("a", "bc")
+    assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+
+def test_derive_rng_reproducible_stream():
+    a = derive_rng(7, "x").random(16)
+    b = derive_rng(7, "x").random(16)
+    assert np.array_equal(a, b)
+
+
+def test_derive_rng_distinct_streams():
+    a = derive_rng(7, "x").random(16)
+    b = derive_rng(7, "y").random(16)
+    assert not np.array_equal(a, b)
+
+
+def test_integer_and_string_keys_mix():
+    s1 = derive_seed(5, "app", 0, "crash")
+    s2 = derive_seed(5, "app", 1, "crash")
+    assert s1 != s2

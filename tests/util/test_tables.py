@@ -1,0 +1,35 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import render_table
+
+
+def test_basic_alignment():
+    out = render_table(["name", "value"], [["CG", 1.5], ["MG", 0.25]])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert "1.500" in out and "0.250" in out
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines equal width
+
+
+def test_title_and_separator():
+    out = render_table(["a"], [["x"]], title="Table 1")
+    assert out.splitlines()[0] == "Table 1"
+    assert "=" in out.splitlines()[1]
+
+
+def test_row_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [["only one"]])
+
+
+def test_custom_float_format():
+    out = render_table(["v"], [[0.123456]], float_fmt="{:.1f}")
+    assert "0.1" in out and "0.12" not in out
+
+
+def test_empty_rows_ok():
+    out = render_table(["a", "b"], [])
+    assert "a" in out and "b" in out

@@ -1,0 +1,214 @@
+"""Assemble EXPERIMENTS.md from the benchmark artifacts.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python tools/build_experiments_md.py
+
+Each section pairs the paper's reported numbers with the regenerated
+table/figure from ``benchmarks/results/`` and states the shape criteria
+the benchmark suite asserts.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+TARGET = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+
+SECTIONS: list[tuple[str, str, str]] = [
+    (
+        "table_1",
+        "Table 1 — benchmark characteristics",
+        "Paper: 11 benchmarks; region counts CG 6 / MG 4 / FT 4 / IS 8 / BT 15 /\n"
+        "LU 4 / SP 16 / EP 2 / botsspar 4 / LULESH 4 / kmeans 1; IS's critical\n"
+        "object is tiny (4 KB) while FT/botsspar's critical set spans (nearly)\n"
+        "all candidates; CG and kmeans restart with extra iterations (9.1 and\n"
+        "18.2 on average); IS segfaults; LU/EP fail verification.\n"
+        "Shape asserted: region counts match exactly; IS critical object in the\n"
+        "KB range; per-app restart-overhead classes reproduce.",
+    ),
+    (
+        "figure_3",
+        "Figure 3 — responses after crash and restart (no persistence)",
+        "Paper: recomputability differs wildly across applications\n"
+        "(Observation 1); SP highest (88%), EP zero, average 28%.\n"
+        "Shape asserted: EP/botsspar ~0, SP > 0.5, kmeans S2-dominated,\n"
+        "IS fails or interrupts.",
+    ),
+    (
+        "figure_4a",
+        "Figure 4a — MG, persisting different data objects",
+        "Paper: persisting u lifts MG from 27% to 63%; persisting the other\n"
+        "objects barely helps (Observation 2).\n"
+        "Shape asserted: u >> none + 0.2; r within 0.2 of u's gain below it.",
+    ),
+    (
+        "figure_4b",
+        "Figure 4b — MG, persisting u at different code regions",
+        "Paper: one region (R3) stands out with +21%; others < +7%\n"
+        "(Observation 3).\n"
+        "Shape asserted: max-min across regions > 0.15; best region > none+0.1.",
+    ),
+    (
+        "figure_5",
+        "Figure 5 — selection strategies",
+        "Paper: persisting the *selected* objects is within 3% of persisting\n"
+        "all candidates.\n"
+        "Shape asserted: mean gap < 0.10; selection >> no persistence.",
+    ),
+    (
+        "figure_6",
+        "Figure 6 — EasyCrash recomputability",
+        "Paper: average 28% -> 82% with EasyCrash; 54% of failing crashes\n"
+        "transformed; EasyCrash within 5% of the costly best configuration\n"
+        "except CG; the physical-machine 'Verified' runs slightly above NVCT.\n"
+        "Shape asserted: avg EC > baseline + 0.3 and > 0.6; EC within 0.25 of\n"
+        "the best-configuration envelope.\n"
+        "Documented divergence: under trajectory-exact (NPB-style)\n"
+        "verification, a *consistent copy taken mid-iteration* (the paper's\n"
+        "VFY methodology) can be worse than a flushed iteration boundary, so\n"
+        "our VFY column sits below EC for the replay-exact apps rather than\n"
+        "slightly above as in the paper.",
+    ),
+    (
+        "table_4",
+        "Table 4 — runtime overhead of persistence",
+        "Paper: EasyCrash 1.5% average overhead; persisting all candidates\n"
+        "every iteration 19%; the best-recomputability configuration 35%.\n"
+        "Shape asserted: EC < 6% average and below both alternatives; every\n"
+        "app under its ts bound (with modeling slack).",
+    ),
+    (
+        "figure_7",
+        "Figure 7 — emulated NVM (Quartz-style)",
+        "Paper: EasyCrash < 9% overhead (2.3% avg) on all four configurations;\n"
+        "the no-selection baseline suffers 48%/62% on 4x/8x latency and\n"
+        "21%/22% on 1/6-1/8 bandwidth — flushes are latency-bound.\n"
+        "Shape asserted: EC cheap everywhere; no-EC worst on the latency\n"
+        "configurations; 8x > 4x.",
+    ),
+    (
+        "figure_8",
+        "Figure 8 — Optane DC PMM",
+        "Paper: EasyCrash 6% average overhead; without EasyCrash 50%.\n"
+        "Shape asserted: EC < 15%; no-EC exceeds EC by > 5 points.",
+    ),
+    (
+        "figure_9",
+        "Figure 9 — NVM write traffic",
+        "Paper: EasyCrash adds 16% extra writes vs C/R's 38% (critical\n"
+        "objects) and 50% (all objects): a 44% average reduction in extra\n"
+        "writes; the benefit is largest for large data objects.\n"
+        "Shape asserted: EC < C/R-all (the paper's headline comparison).\n"
+        "Documented divergence: at mini-app scale the LLC:footprint ratio is\n"
+        "~20x larger than the paper's, inflating flush-induced writes for\n"
+        "the small hot applications (the paper itself notes EasyCrash 'is\n"
+        "not beneficial' at reducing writes for small data objects), so the\n"
+        "single-shot critical-object C/R is not strictly dominated here.",
+    ),
+    (
+        "figure_10",
+        "Figure 10 — system efficiency (MTBF 12 h)",
+        "Paper: EasyCrash improves system efficiency by 2% / 3% / 15% on\n"
+        "average at checkpoint costs 32 / 320 / 3200 s (up to 24%).\n"
+        "Shape asserted: gains positive and increasing in T_chk; tau\n"
+        "decreasing in T_chk.",
+    ),
+    (
+        "figure_11",
+        "Figure 11 — scaling with machine size (CG)",
+        "Paper: the EasyCrash advantage grows from 100k to 200k to 400k nodes\n"
+        "(MTBF 12/6/3 h).\n"
+        "Shape asserted: gain non-negative everywhere and larger at 400k than\n"
+        "at 100k for both checkpoint costs.",
+    ),
+    (
+        "headline",
+        "Headline claims",
+        "Paper: 54% of crashes that cannot correctly recompute are transformed;\n"
+        "82% average recomputability with EasyCrash; 1.5% average runtime\n"
+        "overhead; 44% fewer extra NVM writes than C/R; up to 24% (15% avg)\n"
+        "system-efficiency improvement.\n"
+        "Shape asserted: see benchmarks/test_headline_claims.py bands.",
+    ),
+    (
+        "ablation_frequency",
+        "Ablation — flush frequency vs Eq. 5",
+        "Extension: measured recomputability at flush frequencies 1/2/4/8\n"
+        "against the paper's linear interpolation (Eq. 5).",
+    ),
+    (
+        "ablation_selection",
+        "Ablation — selection strategy",
+        "Extension: EasyCrash's correlation-selected objects vs random and\n"
+        "largest-objects picks at equal or larger flush volume.",
+    ),
+    (
+        "ablation_crash_distribution",
+        "Ablation — crash-time distribution",
+        "Extension: sensitivity of measured recomputability to the crash-time\n"
+        "law (uniform, early-biased, late-biased).",
+    ),
+    (
+        "ablation_flush_instruction",
+        "Ablation — CLWB vs CLFLUSHOPT",
+        "Extension: equal protection, different cost — the invalidating flush\n"
+        "reloads its lines (the paper's x2 estimate).",
+    ),
+    (
+        "sensitivity_ts",
+        "Sensitivity — the overhead bound ts",
+        "Paper Sec. 6 also runs ts = 2% and 5%: overhead is always bounded by\n"
+        "ts; smaller budgets force lower flush frequencies (and can fail tau).",
+    ),
+    (
+        "multicore",
+        "Extension — multi-threaded campaigns",
+        "Paper Sec. 4.1: multi-threaded runs reach the same conclusions as\n"
+        "single-threaded ones; reproduced on the MESI-lite multi-core model.",
+    ),
+]
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper's evaluation, regenerated by
+`pytest benchmarks/ --benchmark-only` (artifacts in `benchmarks/results/`,
+sized by `REPRO_BENCH_SCALE`).  Absolute numbers are not expected to match
+the paper — the substrate is a scaled simulator, not the authors' Xeon +
+Optane testbed — but each section lists the *shape* criteria that the
+benchmark suite asserts, mirroring who wins, by roughly what factor, and
+where the crossovers fall.
+
+Campaign sizes for the run recorded below: see the settings line in each
+benchmark log (default: 120-test validation campaigns, 200-test planning
+campaigns; the paper used 1000-2000 tests).
+
+"""
+
+
+def main() -> int:
+    if not RESULTS.exists():
+        print("no benchmarks/results/ — run the benchmark suite first", file=sys.stderr)
+        return 1
+    parts = [HEADER]
+    missing = []
+    for stem, title, commentary in SECTIONS:
+        path = RESULTS / f"{stem}.txt"
+        parts.append(f"## {title}\n")
+        parts.append(commentary.strip() + "\n")
+        if path.exists():
+            parts.append("```\n" + path.read_text().rstrip() + "\n```\n")
+        else:
+            missing.append(stem)
+            parts.append("*(artifact missing — rerun the benchmark suite)*\n")
+    TARGET.write_text("\n".join(parts))
+    print(f"wrote {TARGET} ({len(SECTIONS) - len(missing)}/{len(SECTIONS)} sections)")
+    if missing:
+        print("missing:", ", ".join(missing))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
