@@ -1,0 +1,99 @@
+"""Throughput of the campaign layer (regression guard).
+
+Conventional pytest-benchmark timings for the crash-test campaign
+pipeline, the analogue of ``test_simulator_throughput.py`` one layer up:
+campaign-layer regressions (snapshotting, classification dispatch, the
+parallel engine's chunking/IPC overhead) are tracked like cache-simulator
+regressions.
+
+``test_parallel_classification_speedup`` additionally asserts that
+fanning classification out over workers beats serial wall-clock — only
+on runners with enough CPUs to make that physically possible.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import get_factory
+from repro.nvct.campaign import CampaignConfig, _classify, run_campaign
+from repro.nvct.parallel import classify_snapshots
+from repro.nvct.plan import PersistencePlan
+from repro.nvct.runtime import CountingRuntime, Runtime
+
+APP = "MG"  # restarts re-run a real solve: classification dominates
+N_TESTS = 16
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    """One instrumented execution providing every snapshot to classify."""
+    factory = get_factory(APP)
+    golden, _ = factory.golden()
+    counting = CountingRuntime()
+    factory.make(runtime=counting).run()
+    points = np.linspace(
+        (counting.window_begin or 0) + 1, counting.counter, N_TESTS, dtype=np.int64
+    )
+    cfg = CampaignConfig(plan=PersistencePlan.none())
+    rt = Runtime(plan=cfg.plan, crash_points=points)
+    factory.make(runtime=rt).run()
+    return factory, rt.snapshots, golden.iterations, cfg
+
+
+def test_serial_classification_throughput(benchmark, snapshots):
+    factory, snaps, golden_iterations, cfg = snapshots
+
+    def run():
+        return [_classify(factory, s, golden_iterations, cfg) for s in snaps]
+
+    records = benchmark.pedantic(run, rounds=3)
+    assert len(records) == N_TESTS
+
+
+def test_parallel_classification_throughput(benchmark, snapshots):
+    factory, snaps, golden_iterations, cfg = snapshots
+    jobs = max(2, min(4, os.cpu_count() or 1))
+
+    def run():
+        return classify_snapshots(
+            factory, snaps, golden_iterations, cfg, jobs=jobs
+        )
+
+    records = benchmark.pedantic(run, rounds=3)
+    assert len(records) == N_TESTS
+
+
+def test_campaign_end_to_end_throughput(benchmark):
+    def run():
+        return run_campaign(
+            get_factory("EP"), CampaignConfig(n_tests=10, seed=0), jobs=1
+        )
+
+    result = benchmark.pedantic(run, rounds=3)
+    assert result.n_tests == 10
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup assertion needs >= 4 CPUs to be physically meaningful",
+)
+def test_parallel_classification_speedup(snapshots):
+    factory, snaps, golden_iterations, cfg = snapshots
+
+    t0 = time.perf_counter()
+    serial = [_classify(factory, s, golden_iterations, cfg) for s in snaps]
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = classify_snapshots(factory, snaps, golden_iterations, cfg, jobs=4)
+    t_parallel = time.perf_counter() - t0
+
+    assert serial == parallel  # the speedup is free: results are bit-identical
+    # Loose bound (pool startup + IPC amortized over N_TESTS real solves):
+    # jobs=4 must clearly beat serial, even if far from 4x.
+    assert t_parallel < t_serial * 0.8, (
+        f"parallel {t_parallel:.2f}s not faster than serial {t_serial:.2f}s"
+    )

@@ -40,6 +40,17 @@ EXPERIMENTS = {
 }
 
 
+def _add_jobs_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the parallel campaign engine "
+        "(0 = all CPUs; default: $REPRO_JOBS, else serial)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -69,15 +80,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="grow the campaign until the estimate moves < 5%% between rounds (the paper's stopping rule)",
     )
+    _add_jobs_flag(c)
 
     p = sub.add_parser("plan", help="run the EasyCrash planning workflow")
     p.add_argument("app")
     p.add_argument("--tests", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--ts", type=float, default=0.03, help="runtime overhead bound")
+    _add_jobs_flag(p)
 
     e = sub.add_parser("experiment", help="regenerate a paper table/figure")
     e.add_argument("id", choices=[*EXPERIMENTS, "all"])
+    _add_jobs_flag(e)
+    e.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent artifact cache directory (default: $REPRO_CACHE_DIR)",
+    )
 
     a = sub.add_parser("advise", help="Sec. 8 deployment decision for an application")
     a.add_argument("app")
@@ -247,7 +267,16 @@ def _cmd_system(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    import os
+
     args = build_parser().parse_args(argv)
+    # The engine reads REPRO_JOBS / REPRO_CACHE_DIR wherever campaigns are
+    # launched (CLI paths, harness context, planner); the flags just seed
+    # the environment so one mechanism serves every layer.
+    if getattr(args, "jobs", None) is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    if getattr(args, "cache_dir", None):
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
     if args.command == "list-apps":
         return _cmd_list_apps()
     if args.command == "characterize":

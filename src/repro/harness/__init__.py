@@ -2,7 +2,14 @@
 evaluation, sharing a cached :class:`~repro.harness.context.ExperimentContext`
 so the expensive planning campaigns run once per session."""
 
+from repro.harness.cache import ArtifactCache
 from repro.harness.context import ExperimentContext, ExperimentSettings, get_context
 from repro.harness import experiments
 
-__all__ = ["ExperimentContext", "ExperimentSettings", "get_context", "experiments"]
+__all__ = [
+    "ArtifactCache",
+    "ExperimentContext",
+    "ExperimentSettings",
+    "get_context",
+    "experiments",
+]

@@ -1,0 +1,239 @@
+"""Persistent, content-addressed cache for expensive experiment artifacts.
+
+A full benchmark session recomputes every campaign, measurement, and
+EasyCrash planning workflow from scratch; at ``REPRO_BENCH_SCALE=paper``
+that is hours of simulation that produce exactly the same artifacts on
+every run (the whole pipeline is seed-deterministic).  This cache keeps
+those artifacts on disk, keyed by *content*: the key is a SHA-256 over
+the application identity (name + factory parameters), the full campaign
+or planner configuration (including the persistence-plan dict exactly as
+the file format serializes it), and the package version.  Any change to
+any input yields a different key, so stale hits are impossible and no
+invalidation logic is needed.
+
+Formats: campaigns and run statistics round-trip through the JSON dicts
+of :mod:`repro.nvct.serialize`; planning reports (deeply nested result
+objects) are pickled.  A corrupted or unreadable entry is counted and
+treated as a miss — the artifact is recomputed and rewritten, never
+raised to the caller.
+
+Enable by pointing ``REPRO_CACHE_DIR`` at a directory (created on
+demand); :class:`~repro.harness.context.ExperimentContext` then consults
+the cache before computing anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro import __version__
+from repro.nvct.serialize import (
+    FORMAT_VERSION,
+    campaign_from_dict,
+    campaign_to_dict,
+    plan_to_dict,
+    run_stats_from_dict,
+    run_stats_to_dict,
+)
+
+if TYPE_CHECKING:
+    from repro.apps.base import AppFactory
+    from repro.core.planner import EasyCrashConfig, EasyCrashPlanReport
+    from repro.nvct.campaign import CampaignConfig, CampaignResult, RunStats
+
+__all__ = [
+    "ArtifactCache",
+    "fingerprint",
+    "plan_fingerprint",
+    "campaign_key",
+    "measure_key",
+    "plan_report_key",
+]
+
+ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def _canon(obj: Any) -> Any:
+    """JSON-compatible canonical form of a key ingredient."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return _canon(asdict(obj))
+    if isinstance(obj, dict):
+        return {str(k): _canon(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def fingerprint(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    text = json.dumps(_canon(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def plan_fingerprint(plan) -> str:
+    """Stable fingerprint of one persistence plan (via its file-format dict)."""
+    return fingerprint(plan_to_dict(plan))
+
+
+def _versions() -> list:
+    return [__version__, FORMAT_VERSION]
+
+
+def campaign_key(factory: "AppFactory", cfg: "CampaignConfig") -> str:
+    """Content key of ``run_campaign(factory, cfg)``."""
+    return fingerprint(
+        {
+            "kind": "campaign",
+            "versions": _versions(),
+            "app": factory.name,
+            "params": factory.params,
+            "plan": plan_to_dict(cfg.plan),
+            "config": cfg,
+        }
+    )
+
+
+def measure_key(factory: "AppFactory", cfg: "CampaignConfig") -> str:
+    """Content key of ``measure_run(factory, cfg)``."""
+    return fingerprint(
+        {
+            "kind": "measure",
+            "versions": _versions(),
+            "app": factory.name,
+            "params": factory.params,
+            "plan": plan_to_dict(cfg.plan),
+            "config": cfg,
+        }
+    )
+
+
+def plan_report_key(factory: "AppFactory", cfg: "EasyCrashConfig") -> str:
+    """Content key of ``plan_easycrash(factory, cfg)``."""
+    return fingerprint(
+        {
+            "kind": "plan-report",
+            "versions": _versions(),
+            "app": factory.name,
+            "params": factory.params,
+            "config": cfg,
+        }
+    )
+
+
+class ArtifactCache:
+    """On-disk artifact store with hit/miss/error accounting.
+
+    Layout: ``root/<kind>/<key[:2]>/<key>.{json,pkl}``.  Writes go
+    through a same-directory temp file + ``os.replace`` so concurrent
+    sessions (or a crash mid-write) can at worst leave an entry that
+    reads as corrupted — which is a counted miss, not an error.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0  # corrupted/unreadable entries (also counted as misses)
+        self.stores = 0
+
+    @staticmethod
+    def from_env() -> "ArtifactCache | None":
+        """The cache configured by ``REPRO_CACHE_DIR``, or None."""
+        root = os.environ.get(ENV_VAR, "").strip()
+        return ArtifactCache(root) if root else None
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "errors": self.errors,
+            "stores": self.stores,
+        }
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _path(self, kind: str, key: str, ext: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.{ext}"
+
+    def _read(self, kind: str, key: str, ext: str, decode) -> Any | None:
+        path = self._path(kind, key, ext)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            artifact = decode(path)
+        except Exception:
+            self.errors += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artifact
+
+    def _write(self, kind: str, key: str, ext: str, encode) -> None:
+        path = self._path(kind, key, ext)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                encode(fh)
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # -- campaigns ------------------------------------------------------------
+
+    def get_campaign(self, key: str) -> "CampaignResult | None":
+        return self._read(
+            "campaign", key, "json",
+            lambda p: campaign_from_dict(json.loads(p.read_text())),
+        )
+
+    def put_campaign(self, key: str, result: "CampaignResult") -> None:
+        doc = json.dumps(campaign_to_dict(result), indent=1)
+        self._write("campaign", key, "json", lambda fh: fh.write(doc.encode()))
+
+    # -- run statistics --------------------------------------------------------
+
+    def get_stats(self, key: str) -> "RunStats | None":
+        return self._read(
+            "stats", key, "json",
+            lambda p: run_stats_from_dict(json.loads(p.read_text())),
+        )
+
+    def put_stats(self, key: str, stats: "RunStats") -> None:
+        doc = json.dumps(run_stats_to_dict(stats), indent=1)
+        self._write("stats", key, "json", lambda fh: fh.write(doc.encode()))
+
+    # -- planning reports -------------------------------------------------------
+
+    def get_plan_report(self, key: str) -> "EasyCrashPlanReport | None":
+        from repro.core.planner import EasyCrashPlanReport
+
+        report = self._read("plan", key, "pkl", lambda p: pickle.loads(p.read_bytes()))
+        if report is not None and not isinstance(report, EasyCrashPlanReport):
+            self.hits -= 1  # wrong type counts as corruption, not a hit
+            self.errors += 1
+            self.misses += 1
+            return None
+        return report
+
+    def put_plan_report(self, key: str, report: "EasyCrashPlanReport") -> None:
+        self._write(
+            "plan", key, "pkl",
+            lambda fh: pickle.dump(report, fh, protocol=pickle.HIGHEST_PROTOCOL),
+        )

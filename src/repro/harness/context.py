@@ -2,25 +2,42 @@
 
 The paper's experiments reuse the same campaigns across tables and
 figures (the EasyCrash plan feeds Fig. 6, Table 4, Figs. 7-11).  The
-context caches every expensive artifact by application so a full
-benchmark session pays for each campaign once.
+context caches every expensive artifact at two levels:
+
+* **in process** — keyed by ``(app, label, content fingerprint)``, so a
+  figure driver asking twice pays once, and two different plans under
+  the same label can never collide;
+* **on disk** (optional) — the content-addressed
+  :class:`~repro.harness.cache.ArtifactCache`, enabled by pointing
+  ``REPRO_CACHE_DIR`` at a directory.  A warm second session then
+  recomputes nothing: every campaign, measurement, and planning report
+  is loaded from disk (see :meth:`ExperimentContext.cache_stats` and the
+  ``campaign_computations`` counter).
 
 ``REPRO_BENCH_SCALE`` (environment) scales the campaign sizes: ``quick``
 (CI-sized), ``default``, or ``paper`` (closer to the paper's 1000-2000
-tests; slow).
+tests; slow).  ``REPRO_JOBS`` sets the worker count of the parallel
+campaign engine (:mod:`repro.nvct.parallel`): classification fans out
+within each campaign, and :meth:`ExperimentContext.prefetch_campaigns`
+runs independent per-application campaigns concurrently.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.apps.base import AppFactory
 from repro.apps.registry import APP_NAMES, get_factory
 from repro.core.planner import EasyCrashConfig, EasyCrashPlanReport, plan_easycrash
-from repro.memsim.config import HierarchyConfig
+from repro.harness.cache import (
+    ArtifactCache,
+    campaign_key,
+    measure_key,
+    plan_report_key,
+)
 from repro.nvct.campaign import (
     CampaignConfig,
     CampaignResult,
@@ -28,6 +45,7 @@ from repro.nvct.campaign import (
     measure_run,
     run_campaign,
 )
+from repro.nvct.parallel import resolve_jobs, run_campaigns
 from repro.nvct.plan import PersistencePlan
 from repro.perf.costmodel import CostModel
 
@@ -57,14 +75,41 @@ class ExperimentSettings:
 
 
 class ExperimentContext:
-    """Lazily computed, cached per-application experiment artifacts."""
+    """Lazily computed, cached per-application experiment artifacts.
 
-    def __init__(self, settings: ExperimentSettings | None = None):
+    ``cache`` overrides the disk cache (default: ``REPRO_CACHE_DIR``,
+    else none); ``jobs`` overrides the parallel-engine worker count
+    (default: ``REPRO_JOBS``, else serial).
+    """
+
+    def __init__(
+        self,
+        settings: ExperimentSettings | None = None,
+        cache: ArtifactCache | None = None,
+        jobs: int | None = None,
+    ):
         self.settings = settings or ExperimentSettings.from_env()
         self.cost_model = CostModel()
-        self._plans: dict[str, EasyCrashPlanReport] = {}
-        self._campaigns: dict[tuple[str, str], CampaignResult] = {}
-        self._measures: dict[tuple[str, str], RunStats] = {}
+        self.disk_cache = cache if cache is not None else ArtifactCache.from_env()
+        self.jobs = resolve_jobs(jobs)
+        self._plans: dict[tuple[str, str], EasyCrashPlanReport] = {}
+        self._campaigns: dict[tuple[str, str, str], CampaignResult] = {}
+        self._measures: dict[tuple[str, str, str], RunStats] = {}
+        # Number of artifacts actually recomputed (not served by any
+        # cache) — a warm-disk-cache session keeps all three at zero.
+        self.campaign_computations = 0
+        self.measure_computations = 0
+        self.plan_computations = 0
+
+    def cache_stats(self) -> dict[str, int]:
+        """Disk-cache counters plus this session's recomputation counts."""
+        out = self.disk_cache.stats() if self.disk_cache else {
+            "hits": 0, "misses": 0, "errors": 0, "stores": 0
+        }
+        out["campaign_computations"] = self.campaign_computations
+        out["measure_computations"] = self.measure_computations
+        out["plan_computations"] = self.plan_computations
+        return out
 
     # -- primitives -----------------------------------------------------------
 
@@ -74,17 +119,40 @@ class ExperimentContext:
     def app_names(self) -> tuple[str, ...]:
         return APP_NAMES
 
+    def _planner_config(self) -> EasyCrashConfig:
+        return EasyCrashConfig(
+            n_tests=self.settings.planner_tests,
+            seed=self.settings.seed,
+            ts=self.settings.ts,
+            refinement_tests=self.settings.refinement_tests,
+        )
+
     def plan_report(self, name: str) -> EasyCrashPlanReport:
         """The EasyCrash planning workflow output for one application."""
-        if name not in self._plans:
-            cfg = EasyCrashConfig(
-                n_tests=self.settings.planner_tests,
-                seed=self.settings.seed,
-                ts=self.settings.ts,
-                refinement_tests=self.settings.refinement_tests,
-            )
-            self._plans[name] = plan_easycrash(self.factory(name), cfg)
-        return self._plans[name]
+        cfg = self._planner_config()
+        key = (name, plan_report_key(self.factory(name), cfg))
+        if key not in self._plans:
+            report = self.disk_cache.get_plan_report(key[1]) if self.disk_cache else None
+            if report is None:
+                report = plan_easycrash(self.factory(name), cfg)
+                self.plan_computations += 1
+                if self.disk_cache:
+                    self.disk_cache.put_plan_report(key[1], report)
+            self._plans[key] = report
+        return self._plans[key]
+
+    def _campaign_config(
+        self,
+        plan: PersistencePlan,
+        verified: bool = False,
+        n_tests: int | None = None,
+    ) -> CampaignConfig:
+        return CampaignConfig(
+            n_tests=n_tests or self.settings.n_tests,
+            seed=self.settings.seed + 1,  # independent of planning seed
+            plan=plan,
+            verified_mode=verified,
+        )
 
     def campaign(
         self,
@@ -94,24 +162,68 @@ class ExperimentContext:
         verified: bool = False,
         n_tests: int | None = None,
     ) -> CampaignResult:
-        """A crash campaign for (application, plan), cached by label."""
-        key = (name, label)
+        """A crash campaign for (application, plan).
+
+        The cache key is the campaign's *content* (plan fingerprint and
+        full configuration), so equal labels with different plans are
+        distinct entries; ``label`` only aids debugging/reporting.
+        """
+        cfg = self._campaign_config(plan, verified, n_tests)
+        key = (name, label, campaign_key(self.factory(name), cfg))
         if key not in self._campaigns:
-            cfg = CampaignConfig(
-                n_tests=n_tests or self.settings.n_tests,
-                seed=self.settings.seed + 1,  # independent of planning seed
-                plan=plan,
-                verified_mode=verified,
-            )
-            self._campaigns[key] = run_campaign(self.factory(name), cfg)
+            result = self.disk_cache.get_campaign(key[2]) if self.disk_cache else None
+            if result is None:
+                result = run_campaign(self.factory(name), cfg, jobs=self.jobs)
+                self.campaign_computations += 1
+                if self.disk_cache:
+                    self.disk_cache.put_campaign(key[2], result)
+            self._campaigns[key] = result
         return self._campaigns[key]
+
+    def prefetch_campaigns(
+        self,
+        requests: list[tuple[str, PersistencePlan, str]],
+        verified: bool = False,
+        n_tests: int | None = None,
+    ) -> list[CampaignResult]:
+        """Compute many independent ``(name, plan, label)`` campaigns at
+        once, fanning whole campaigns out over ``self.jobs`` workers
+        (application-level parallelism), and fill both cache levels.
+        Returns the campaigns in request order."""
+        missing: list[tuple[tuple[str, str, str], AppFactory, CampaignConfig]] = []
+        keys = []
+        for name, plan, label in requests:
+            cfg = self._campaign_config(plan, verified, n_tests)
+            key = (name, label, campaign_key(self.factory(name), cfg))
+            keys.append(key)
+            if key in self._campaigns or any(k == key for k, _, _ in missing):
+                continue
+            cached = self.disk_cache.get_campaign(key[2]) if self.disk_cache else None
+            if cached is not None:
+                self._campaigns[key] = cached
+            else:
+                missing.append((key, self.factory(name), cfg))
+        if missing:
+            results = run_campaigns([(f, c) for _, f, c in missing], jobs=self.jobs)
+            for (key, _, _), result in zip(missing, results):
+                self.campaign_computations += 1
+                if self.disk_cache:
+                    self.disk_cache.put_campaign(key[2], result)
+                self._campaigns[key] = result
+        return [self._campaigns[k] for k in keys]
 
     def measure(self, name: str, plan: PersistencePlan, label: str) -> RunStats:
         """Event counts of an instrumented production run under ``plan``."""
-        key = (name, label)
+        cfg = CampaignConfig(plan=plan)
+        key = (name, label, measure_key(self.factory(name), cfg))
         if key not in self._measures:
-            cfg = CampaignConfig(plan=plan)
-            self._measures[key] = measure_run(self.factory(name), cfg)
+            stats = self.disk_cache.get_stats(key[2]) if self.disk_cache else None
+            if stats is None:
+                stats = measure_run(self.factory(name), cfg)
+                self.measure_computations += 1
+                if self.disk_cache:
+                    self.disk_cache.put_stats(key[2], stats)
+            self._measures[key] = stats
         return self._measures[key]
 
     # -- derived plans -----------------------------------------------------------

@@ -33,6 +33,7 @@ from repro.nvct.campaign import (
     Response,
     run_campaign,
 )
+from repro.nvct.parallel import classify_snapshots, resolve_jobs, run_campaigns
 
 __all__ = [
     "DataObject",
@@ -53,4 +54,7 @@ __all__ = [
     "CrashTestRecord",
     "Response",
     "run_campaign",
+    "classify_snapshots",
+    "resolve_jobs",
+    "run_campaigns",
 ]

@@ -198,6 +198,13 @@ def _sample_crash_points(
         raw = np.unique((rng.beta(a, b, size=4 * n) * span).astype(np.int64))
         rng.shuffle(raw)
         points = raw[:n]
+        if points.size < n:
+            # The beta draw collapses duplicates under np.unique and can
+            # undersample; top up uniformly from the untouched remainder so
+            # the campaign honors the requested test count.
+            pool = np.setdiff1d(np.arange(span, dtype=np.int64), points)
+            extra = rng.choice(pool.size, size=n - points.size, replace=False)
+            points = np.concatenate([points, pool[extra]])
     else:
         raise ValueError(f"unknown crash distribution {distribution!r}")
     return np.sort(points + lo + 1)
@@ -285,8 +292,19 @@ def measure_run(factory: AppFactory, cfg: CampaignConfig) -> RunStats:
     return _run_stats(rt, iterations)
 
 
-def run_campaign(factory: AppFactory, cfg: CampaignConfig) -> CampaignResult:
-    """Run a full crash-test campaign for one application and plan."""
+def run_campaign(
+    factory: AppFactory,
+    cfg: CampaignConfig,
+    jobs: int | None = None,
+    chunk_timeout: float | None = None,
+) -> CampaignResult:
+    """Run a full crash-test campaign for one application and plan.
+
+    ``jobs`` fans the classification phase out over worker processes
+    (default: ``REPRO_JOBS``, else serial); the record sequence is
+    bit-identical at any job count.  ``chunk_timeout`` bounds one chunk's
+    wall time before the engine falls back to serial classification.
+    """
     golden_result, _ = factory.golden()
 
     # Profile pass: total access count and the main-loop crash window.
@@ -304,9 +322,23 @@ def run_campaign(factory: AppFactory, cfg: CampaignConfig) -> CampaignResult:
             f"{factory.name}: {points.size} crash points but {len(rt.snapshots)} snapshots"
         )
 
-    records = [
-        _classify(factory, snap, golden_result.iterations, cfg) for snap in rt.snapshots
-    ]
+    from repro.nvct.parallel import DEFAULT_CHUNK_TIMEOUT, classify_snapshots, resolve_jobs
+
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1:
+        records = classify_snapshots(
+            factory,
+            rt.snapshots,
+            golden_result.iterations,
+            cfg,
+            jobs=n_jobs,
+            chunk_timeout=chunk_timeout or DEFAULT_CHUNK_TIMEOUT,
+        )
+    else:
+        records = [
+            _classify(factory, snap, golden_result.iterations, cfg)
+            for snap in rt.snapshots
+        ]
     return CampaignResult(
         app=factory.name,
         plan=cfg.plan,

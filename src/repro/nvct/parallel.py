@@ -1,0 +1,238 @@
+"""Parallel campaign execution: fan classification out over worker processes.
+
+A campaign's cost splits into one instrumented execution (inherently
+serial: the access counter is a single global clock) and ``n_tests``
+restart-and-classify runs that are embarrassingly parallel — each test
+restarts a fresh plain-mode application from one snapshot and never
+touches shared state.  This module exploits that shape at two levels:
+
+* :func:`classify_snapshots` — fan the classification phase of one
+  campaign out over ``jobs`` worker processes.  Snapshots are shipped as
+  packed payloads (:mod:`repro.nvct.serialize`) in deterministic,
+  crash-point-ordered chunks and the per-chunk records are merged back in
+  chunk order, so a parallel campaign is *bit-identical* to a serial one
+  under the same seed.
+* :func:`run_campaigns` — an application-level parallel map running whole
+  independent ``(factory, config)`` campaigns in separate workers (the 11
+  benchmark workloads of a harness session are independent).
+
+Workers are plain ``multiprocessing.Pool`` processes with
+``maxtasksperchild`` recycling (long campaigns keep worker memory flat).
+Every pool-level failure — a worker crash, an unpicklable factory, a
+chunk exceeding ``chunk_timeout`` — degrades gracefully: the remaining
+work is computed serially in the parent, so parallelism is strictly an
+optimization and never changes results or raises new errors.
+
+``REPRO_JOBS`` (or ``--jobs`` on the CLI) selects the worker count;
+``0`` means one worker per CPU, unset/``1`` means serial.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from typing import TYPE_CHECKING, Sequence
+
+__all__ = [
+    "resolve_jobs",
+    "chunk_indices",
+    "classify_snapshots",
+    "run_campaigns",
+    "DEFAULT_CHUNK_TIMEOUT",
+]
+
+if TYPE_CHECKING:  # avoid import cycles at runtime
+    from repro.apps.base import AppFactory
+    from repro.nvct.campaign import CampaignConfig, CampaignResult, CrashTestRecord
+    from repro.nvct.runtime import Snapshot
+
+#: Seconds one chunk (or one whole campaign, in :func:`run_campaigns`) may
+#: take before the engine abandons the pool and falls back to serial.
+DEFAULT_CHUNK_TIMEOUT = 600.0
+
+#: Tasks a worker serves before being replaced (bounds leaked memory).
+MAX_TASKS_PER_CHILD = 32
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else serial.
+
+    ``0`` (argument or environment) means "all CPUs"; anything below
+    zero or unparsable degrades to serial.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def chunk_indices(n_items: int, jobs: int) -> list[tuple[int, int]]:
+    """Deterministic contiguous ``[lo, hi)`` chunks covering ``n_items``.
+
+    Chunks are sized so each worker gets ~4 of them (cheap dynamic load
+    balancing) while staying purely a function of ``(n_items, jobs)`` —
+    the merge order, and therefore the record order, never depends on
+    scheduling.
+    """
+    if n_items <= 0:
+        return []
+    chunk = max(1, math.ceil(n_items / (jobs * 4)))
+    return [(lo, min(lo + chunk, n_items)) for lo in range(0, n_items, chunk)]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork (cheap, inherits the warmed golden-run cache) when available;
+    # the platform default otherwise.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+# -- classification fan-out ---------------------------------------------------
+#
+# Worker state is installed once per worker by the pool initializer; chunk
+# tasks then only carry packed snapshots.
+
+_worker_state: dict | None = None
+
+
+def _classify_worker_init(factory, golden_iterations, cfg) -> None:
+    global _worker_state
+    _worker_state = {
+        "factory": factory,
+        "golden_iterations": golden_iterations,
+        "cfg": cfg,
+    }
+
+
+def _classify_chunk(task: tuple[int, list[dict]]):
+    from repro.nvct.campaign import _classify
+    from repro.nvct.serialize import unpack_snapshot
+
+    assert _worker_state is not None
+    index, packed = task
+    st = _worker_state
+    records = [
+        _classify(st["factory"], unpack_snapshot(p), st["golden_iterations"], st["cfg"])
+        for p in packed
+    ]
+    return index, records
+
+
+def classify_snapshots(
+    factory: "AppFactory",
+    snapshots: Sequence["Snapshot"],
+    golden_iterations: int,
+    cfg: "CampaignConfig",
+    jobs: int | None = None,
+    chunk_timeout: float = DEFAULT_CHUNK_TIMEOUT,
+) -> list["CrashTestRecord"]:
+    """Classify every snapshot, fanning out over ``jobs`` processes.
+
+    Bit-identical to the serial ``[_classify(...) for snap in snapshots]``
+    under any job count: classification is pure (plain-mode restart, no
+    shared state, no RNG) and records are merged in crash-point order.
+    Falls back to in-process classification for the unfinished remainder
+    on any pool failure or per-chunk timeout.
+    """
+    from repro.nvct.campaign import _classify
+    from repro.nvct.serialize import pack_snapshot
+
+    jobs = resolve_jobs(jobs)
+    snapshots = list(snapshots)
+    if jobs <= 1 or len(snapshots) < 2:
+        return [_classify(factory, s, golden_iterations, cfg) for s in snapshots]
+
+    factory.golden()  # warm before fork so workers inherit it
+    chunks = chunk_indices(len(snapshots), jobs)
+    done: dict[int, list] = {}
+    try:
+        with _pool_context().Pool(
+            processes=min(jobs, len(chunks)),
+            initializer=_classify_worker_init,
+            initargs=(factory, golden_iterations, cfg),
+            maxtasksperchild=MAX_TASKS_PER_CHILD,
+        ) as pool:
+            pending = [
+                pool.apply_async(
+                    _classify_chunk,
+                    ((ci, [pack_snapshot(s) for s in snapshots[lo:hi]]),),
+                )
+                for ci, (lo, hi) in enumerate(chunks)
+            ]
+            for res in pending:
+                index, records = res.get(timeout=chunk_timeout)
+                done[index] = records
+    except Exception:
+        pass  # serial fallback below fills whatever is missing
+    out: list = []
+    for ci, (lo, hi) in enumerate(chunks):
+        if ci in done:
+            out.extend(done[ci])
+        else:
+            out.extend(
+                _classify(factory, s, golden_iterations, cfg)
+                for s in snapshots[lo:hi]
+            )
+    return out
+
+
+# -- application-level campaign map -------------------------------------------
+
+
+def _campaign_task(task):
+    from repro.nvct.campaign import run_campaign
+
+    index, factory, cfg = task
+    # jobs=1: pool workers are daemonic and must not nest their own pools.
+    return index, run_campaign(factory, cfg, jobs=1)
+
+
+def run_campaigns(
+    specs: Sequence[tuple["AppFactory", "CampaignConfig"]],
+    jobs: int | None = None,
+    timeout: float = DEFAULT_CHUNK_TIMEOUT,
+) -> list["CampaignResult"]:
+    """Run independent campaigns concurrently; results in ``specs`` order.
+
+    Each worker runs one whole campaign (instrumented execution +
+    serial classification) — the right granularity when a session needs
+    campaigns for many applications.  Campaigns that fail to come back
+    from the pool (timeout, unpicklable factory, worker crash) are rerun
+    serially in the parent.
+    """
+    from repro.nvct.campaign import run_campaign
+
+    jobs = resolve_jobs(jobs)
+    specs = list(specs)
+    if jobs <= 1 or len(specs) < 2:
+        return [run_campaign(f, c) for f, c in specs]
+
+    for factory, _ in specs:
+        factory.golden()
+    done: dict[int, "CampaignResult"] = {}
+    try:
+        with _pool_context().Pool(
+            processes=min(jobs, len(specs)),
+            maxtasksperchild=MAX_TASKS_PER_CHILD,
+        ) as pool:
+            pending = [
+                pool.apply_async(_campaign_task, ((i, f, c),))
+                for i, (f, c) in enumerate(specs)
+            ]
+            for res in pending:
+                index, result = res.get(timeout=timeout)
+                done[index] = result
+    except Exception:
+        pass
+    return [
+        done[i] if i in done else run_campaign(f, c)
+        for i, (f, c) in enumerate(specs)
+    ]

@@ -4,6 +4,11 @@ NVCT's postmortem workflow dumps analysis data to files; this module
 round-trips :class:`~repro.nvct.campaign.CampaignResult` through JSON so
 campaigns can be archived, diffed across runs, and analyzed offline
 (``python -m repro campaign APP --save results.json``).
+
+The same dict round-trips back the persistent artifact cache
+(:mod:`repro.harness.cache`) and the parallel campaign engine
+(:mod:`repro.nvct.parallel`), which ships snapshots to classification
+workers as packed payloads (:func:`pack_snapshot` / :func:`unpack_snapshot`).
 """
 
 from __future__ import annotations
@@ -12,12 +17,25 @@ import json
 from dataclasses import asdict
 from pathlib import Path
 
+import numpy as np
+
 from repro.memsim.stats import CacheStats, MemoryStats
 from repro.nvct.campaign import CampaignResult, CrashTestRecord, Response, RunStats
 from repro.nvct.plan import PersistencePlan
-from repro.nvct.runtime import ObjectProfile, PersistEvent, RegionProfile
+from repro.nvct.runtime import ObjectProfile, PersistEvent, RegionProfile, Snapshot
 
-__all__ = ["save_campaign", "load_campaign"]
+__all__ = [
+    "save_campaign",
+    "load_campaign",
+    "plan_to_dict",
+    "plan_from_dict",
+    "run_stats_to_dict",
+    "run_stats_from_dict",
+    "campaign_to_dict",
+    "campaign_from_dict",
+    "pack_snapshot",
+    "unpack_snapshot",
+]
 
 FORMAT_VERSION = 1
 
@@ -69,9 +87,37 @@ def _memory_from_dict(d: dict) -> MemoryStats:
     return m
 
 
-def save_campaign(result: CampaignResult, path: str | Path) -> Path:
-    """Serialize a campaign to a JSON file; returns the path written."""
-    doc = {
+def run_stats_to_dict(stats: RunStats) -> dict:
+    return {
+        "memory": _memory_to_dict(stats.memory),
+        "region_profile": {
+            k: {"accesses": p.accesses, "executions": p.executions}
+            for k, p in stats.region_profile.items()
+        },
+        "persist_events": [asdict(e) for e in stats.persist_events],
+        "total_accesses": stats.total_accesses,
+        "window_begin": stats.window_begin,
+        "iterations": stats.iterations,
+    }
+
+
+def run_stats_from_dict(rs: dict) -> RunStats:
+    return RunStats(
+        memory=_memory_from_dict(rs["memory"]),
+        region_profile={
+            k: RegionProfile(accesses=int(p["accesses"]), executions=int(p["executions"]))
+            for k, p in rs["region_profile"].items()
+        },
+        persist_events=[PersistEvent(**e) for e in rs["persist_events"]],
+        total_accesses=int(rs["total_accesses"]),
+        window_begin=int(rs["window_begin"]),
+        iterations=int(rs["iterations"]),
+    )
+
+
+def campaign_to_dict(result: CampaignResult) -> dict:
+    """JSON-compatible dict of a full campaign (the file format)."""
+    return {
         "format": FORMAT_VERSION,
         "app": result.app,
         "golden_iterations": result.golden_iterations,
@@ -87,26 +133,11 @@ def save_campaign(result: CampaignResult, path: str | Path) -> Path:
             }
             for r in result.records
         ],
-        "run_stats": {
-            "memory": _memory_to_dict(result.run_stats.memory),
-            "region_profile": {
-                k: {"accesses": p.accesses, "executions": p.executions}
-                for k, p in result.run_stats.region_profile.items()
-            },
-            "persist_events": [asdict(e) for e in result.run_stats.persist_events],
-            "total_accesses": result.run_stats.total_accesses,
-            "window_begin": result.run_stats.window_begin,
-            "iterations": result.run_stats.iterations,
-        },
+        "run_stats": run_stats_to_dict(result.run_stats),
     }
-    target = Path(path)
-    target.write_text(json.dumps(doc, indent=1))
-    return target
 
 
-def load_campaign(path: str | Path) -> CampaignResult:
-    """Load a campaign previously written by :func:`save_campaign`."""
-    doc = json.loads(Path(path).read_text())
+def campaign_from_dict(doc: dict) -> CampaignResult:
     if doc.get("format") != FORMAT_VERSION:
         raise ValueError(f"unsupported campaign format: {doc.get('format')!r}")
     records = [
@@ -120,22 +151,76 @@ def load_campaign(path: str | Path) -> CampaignResult:
         )
         for r in doc["records"]
     ]
-    rs = doc["run_stats"]
-    run_stats = RunStats(
-        memory=_memory_from_dict(rs["memory"]),
-        region_profile={
-            k: RegionProfile(accesses=int(p["accesses"]), executions=int(p["executions"]))
-            for k, p in rs["region_profile"].items()
-        },
-        persist_events=[PersistEvent(**e) for e in rs["persist_events"]],
-        total_accesses=int(rs["total_accesses"]),
-        window_begin=int(rs["window_begin"]),
-        iterations=int(rs["iterations"]),
-    )
     return CampaignResult(
         app=doc["app"],
         plan=_plan_from_dict(doc["plan"]),
         records=records,
-        run_stats=run_stats,
+        run_stats=run_stats_from_dict(doc["run_stats"]),
         golden_iterations=int(doc["golden_iterations"]),
+    )
+
+
+def save_campaign(result: CampaignResult, path: str | Path) -> Path:
+    """Serialize a campaign to a JSON file; returns the path written."""
+    target = Path(path)
+    target.write_text(json.dumps(campaign_to_dict(result), indent=1))
+    return target
+
+
+def load_campaign(path: str | Path) -> CampaignResult:
+    """Load a campaign previously written by :func:`save_campaign`."""
+    return campaign_from_dict(json.loads(Path(path).read_text()))
+
+
+# Public aliases of the plan round-trip (the artifact cache fingerprints
+# plans through the exact dict the file format uses).
+def plan_to_dict(plan: PersistencePlan) -> dict:
+    return _plan_to_dict(plan)
+
+
+def plan_from_dict(d: dict) -> PersistencePlan:
+    return _plan_from_dict(d)
+
+
+# -- snapshot transport (parallel classification workers) ---------------------
+
+
+def _pack_array(a: np.ndarray) -> dict:
+    return {"dtype": str(a.dtype), "shape": list(a.shape), "data": a.tobytes()}
+
+
+def _unpack_array(d: dict) -> np.ndarray:
+    return np.frombuffer(d["data"], dtype=d["dtype"]).reshape(d["shape"]).copy()
+
+
+def pack_snapshot(snap: Snapshot) -> dict:
+    """Flatten a snapshot into plain bytes/dicts for cheap IPC pickling."""
+    return {
+        "index": snap.index,
+        "counter": snap.counter,
+        "iteration": snap.iteration,
+        "region": snap.region,
+        "nvm_state": {k: _pack_array(v) for k, v in snap.nvm_state.items()},
+        "rates": {k: float(v) for k, v in snap.rates.items()},
+        "consistent_state": (
+            None
+            if snap.consistent_state is None
+            else {k: _pack_array(v) for k, v in snap.consistent_state.items()}
+        ),
+    }
+
+
+def unpack_snapshot(d: dict) -> Snapshot:
+    return Snapshot(
+        index=int(d["index"]),
+        counter=int(d["counter"]),
+        iteration=int(d["iteration"]),
+        region=d["region"],
+        nvm_state={k: _unpack_array(v) for k, v in d["nvm_state"].items()},
+        rates=d["rates"],
+        consistent_state=(
+            None
+            if d["consistent_state"] is None
+            else {k: _unpack_array(v) for k, v in d["consistent_state"].items()}
+        ),
     )
