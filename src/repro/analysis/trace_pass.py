@@ -1,0 +1,195 @@
+"""Dynamic (trace) pass: validate a runtime event stream against a plan.
+
+The runtime emits a :class:`repro.nvct.runtime.RuntimeEvent` stream when a
+listener is attached (stores, region/iteration boundaries, per-object
+commit-point flushes).  :func:`check_trace` replays that stream against
+the :class:`~repro.nvct.plan.PersistencePlan` the run claimed to execute
+and reports crash-consistency violations:
+
+``dirty-at-commit``
+    After an object's commit-point flush, some of its cache blocks are
+    still dirty — the plan *claims* the object is persistent at this
+    point, but a crash here would expose unflushed data.
+``dead-persist``
+    A flush of an object with no recorded stores since its previous
+    flush: every issued line is clean by construction, so the operation
+    buys no recomputability and only costs flush latency.
+``persist-order``
+    The persist events disagree with the plan's region/iteration
+    schedule — a scheduled flush is missing, an unscheduled plan-group
+    flush appears, or a flush group covers the wrong object set.
+
+Each rule reports once per (app, object/region) — repeated identical
+violations across iterations collapse into the first occurrence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.findings import Finding, Severity
+from repro.nvct.plan import PersistencePlan
+from repro.nvct.runtime import Runtime, RuntimeEvent
+
+__all__ = ["TraceCollector", "check_trace", "run_traced"]
+
+
+@dataclass
+class TraceCollector:
+    """Runtime listener that records the event stream."""
+
+    events: list[RuntimeEvent] = field(default_factory=list)
+
+    def __call__(self, event: RuntimeEvent) -> None:
+        self.events.append(event)
+
+
+def run_traced(
+    factory,
+    plan: PersistencePlan,
+    max_iterations: int | None = None,
+    runtime: Runtime | None = None,
+) -> list[RuntimeEvent]:
+    """Execute an application under an instrumented runtime with a trace
+    listener attached; return the event stream.
+
+    ``factory`` is an :class:`repro.apps.base.AppFactory`; the golden run
+    is *not* triggered (no verification happens here, only tracing).  A
+    pre-built ``runtime`` may be injected (e.g. a deliberately broken
+    subclass in tests); it must carry the same plan.
+    """
+    rt = runtime if runtime is not None else Runtime(plan=plan)
+    collector = TraceCollector()
+    rt.add_listener(collector)
+    app = factory.app_cls(runtime=rt, **factory.params)
+    app.setup()
+    app.run(max_iterations=max_iterations)
+    return collector.events
+
+
+def _boundary_expects_flush(event: RuntimeEvent, plan: PersistencePlan) -> bool:
+    if not plan.objects:
+        return False
+    if event.kind == "region_end":
+        return plan.flushes_at(event.region, event.exec_count)
+    if event.kind == "iteration_end":
+        return (
+            plan.at_iteration_end
+            and event.exec_count % plan.iteration_frequency == 0
+        )
+    return False
+
+
+def check_trace(
+    events: Sequence[RuntimeEvent], plan: PersistencePlan, app: str = "?"
+) -> list[Finding]:
+    """Validate one run's event stream against its persistence plan."""
+    findings: list[Finding] = []
+    seen_keys: set[str] = set()
+
+    def add(rule: str, severity: Severity, event: RuntimeEvent, symbol: str, message: str) -> None:
+        key = f"{rule}:{app}:{symbol}"
+        if key in seen_keys:
+            return
+        seen_keys.add(key)
+        findings.append(
+            Finding(
+                rule=rule,
+                severity=severity,
+                where=f"app={app} it={event.iteration} region={event.region}",
+                message=message,
+                key=key,
+            )
+        )
+
+    stores_since: dict[str, int] = {}
+    consumed: set[int] = set()  # indices of persists matched to a boundary
+
+    for i, event in enumerate(events):
+        if event.kind == "store":
+            assert event.obj is not None
+            stores_since[event.obj] = stores_since.get(event.obj, 0) + event.blocks
+            continue
+
+        if event.kind == "persist":
+            assert event.obj is not None
+            if stores_since.get(event.obj, 0) == 0:
+                add(
+                    "dead-persist",
+                    Severity.WARNING,
+                    event,
+                    event.obj,
+                    f"object {event.obj!r} flushed ({event.blocks} lines "
+                    "issued) with no stores since its previous flush: "
+                    "every line is clean, the persist is dead cost",
+                )
+            stores_since[event.obj] = 0
+            if event.remaining_dirty > 0:
+                add(
+                    "dirty-at-commit",
+                    Severity.ERROR,
+                    event,
+                    event.obj,
+                    f"object {event.obj!r} still has {event.remaining_dirty} "
+                    "dirty cache blocks after its commit-point flush: the "
+                    "plan claims it persistent here but a crash would see "
+                    "stale NVM data",
+                )
+            if event.scheduled and i not in consumed:
+                add(
+                    "persist-order",
+                    Severity.ERROR,
+                    event,
+                    f"{event.region}:{event.obj}",
+                    f"scheduled flush of {event.obj!r} in region "
+                    f"{event.region!r} does not match any plan boundary "
+                    "(plan-group persist outside the region/iteration "
+                    "schedule)",
+                )
+            continue
+
+        if event.kind in ("region_end", "iteration_end"):
+            expected = _boundary_expects_flush(event, plan)
+            # The plan group, if any, is emitted as consecutive persist
+            # events immediately after the boundary event.
+            got: dict[str, int] = {}
+            j = i + 1
+            while (
+                j < len(events)
+                and events[j].kind == "persist"
+                and events[j].scheduled
+            ):
+                assert events[j].obj is not None
+                got[events[j].obj] = j  # type: ignore[index]
+                j += 1
+            if not expected:
+                continue  # stray persists are flagged by the loop above
+            consumed.update(got.values())
+            boundary = (
+                f"end of region {event.region!r}"
+                if event.kind == "region_end"
+                else f"end of iteration {event.iteration}"
+            )
+            for name in plan.objects:
+                if name not in got:
+                    add(
+                        "persist-order",
+                        Severity.ERROR,
+                        event,
+                        f"missing:{boundary}:{name}",
+                        f"plan schedules a flush of {name!r} at {boundary} "
+                        f"(execution {event.exec_count}) but no persist "
+                        "event occurred",
+                    )
+            for name in got:
+                if name not in plan.objects:
+                    add(
+                        "persist-order",
+                        Severity.ERROR,
+                        event,
+                        f"extra:{boundary}:{name}",
+                        f"flush group at {boundary} persisted {name!r}, "
+                        "which the plan does not list",
+                    )
+    return findings

@@ -56,7 +56,9 @@ class BotsSpar(Application):
         nb, bs = self.nb, self.bs
         occ = self._make_occupancy()
         self._occ = occ
-        self._slot = np.full((nb, nb), -1, dtype=np.int64)
+        # Block->slot index map: derived metadata, rebuilt deterministically
+        # by _allocate on every restart, so it needs no NVM image.
+        self._slot = np.full((nb, nb), -1, dtype=np.int64)  # analysis: allow(unregistered-object)
         self._slot[occ] = np.arange(int(occ.sum()))
         # Like BOTS sparselu, only occupied blocks are allocated (one
         # compact array of per-block storage).

@@ -31,7 +31,7 @@ class ParallelKMeans(KMeans):
         with ws.region("R1"):
             cent = self.centroids.read().copy()
             cnorm = np.einsum("ij,ij->i", cent, cent)
-            old_assign = self.assign.np.copy()
+            old_assign = self.assign.read().copy()
             # Fork: each core assigns its shard of the points.
             for core, shard in rt.parallel_chunks(self.n_points):
                 with rt.on_core(core):

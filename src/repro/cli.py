@@ -14,6 +14,10 @@ Commands
     ``table1``); ``experiment all`` regenerates everything.
 ``system``
     The Sec. 7 system-efficiency model for given MTBF/checkpoint cost.
+``analyze``
+    Crash-consistency and instrumentation-escape analyzer over the
+    benchmark apps (static AST pass + dynamic trace pass); ``--strict``
+    is the CI gate.
 """
 
 from __future__ import annotations
@@ -97,6 +101,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="persistent artifact cache directory (default: $REPRO_CACHE_DIR)",
+    )
+
+    an = sub.add_parser(
+        "analyze",
+        help="crash-consistency / instrumentation-escape analyzer",
+        description="Run the static (AST) and dynamic (trace) analysis "
+        "passes over the application suite; see docs/API.md for the rule "
+        "catalog and the baseline/allowlist workflow.",
+    )
+    an.add_argument(
+        "paths", nargs="*",
+        help="source files for the static pass (default: the repro.apps package)",
+    )
+    an.add_argument(
+        "--strict", action="store_true",
+        help="fail on any active finding, warnings included (the CI gate)",
+    )
+    an.add_argument(
+        "--no-dynamic", action="store_true",
+        help="skip the dynamic trace pass (static AST analysis only)",
+    )
+    an.add_argument(
+        "--apps", nargs="*", default=None, metavar="APP",
+        help="applications for the dynamic pass (default: the whole registry)",
+    )
+    an.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline allowlist JSON (default: tools/analysis_baseline.json if present)",
+    )
+    an.add_argument(
+        "--update-baseline", action="store_true",
+        help="write all current findings to the baseline file and exit",
     )
 
     a = sub.add_parser("advise", help="Sec. 8 deployment decision for an application")
@@ -227,6 +263,40 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze
+    from repro.analysis.findings import Baseline, DEFAULT_BASELINE_PATH
+
+    baseline_path = args.baseline or (
+        DEFAULT_BASELINE_PATH if DEFAULT_BASELINE_PATH.exists() else None
+    )
+    if args.update_baseline:
+        report = analyze(
+            paths=args.paths or None,
+            apps=args.apps,
+            dynamic=not args.no_dynamic,
+            baseline=None,
+        )
+        baseline = Baseline(
+            keys={f.key for f in report.findings},
+            path=args.baseline or DEFAULT_BASELINE_PATH,
+        )
+        out = baseline.save()
+        print(f"baseline updated: {len(baseline.keys)} key(s) -> {out}")
+        return 0
+    report = analyze(
+        paths=args.paths or None,
+        apps=args.apps,
+        dynamic=not args.no_dynamic,
+        baseline=baseline_path,
+    )
+    print(report.render())
+    if report.ok(strict=args.strict):
+        print("analysis: OK" + (" (strict)" if args.strict else ""))
+        return 0
+    return 1
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.apps.registry import get_factory
     from repro.core.advisor import DeploymentScenario, advise
@@ -287,6 +357,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_plan(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "advise":
         return _cmd_advise(args)
     if args.command == "system":

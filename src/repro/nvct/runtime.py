@@ -33,7 +33,7 @@ from repro.memsim.hierarchy import CacheHierarchy
 from repro.nvct.heap import DataObject, PersistentHeap
 from repro.nvct.plan import PersistencePlan
 
-__all__ = ["Snapshot", "PersistEvent", "Runtime", "CountingRuntime"]
+__all__ = ["Snapshot", "PersistEvent", "RuntimeEvent", "Runtime", "CountingRuntime"]
 
 INIT_REGION = "__init__"
 MAIN_REGION = "__main__"  # main-loop code not inside an explicit region
@@ -61,6 +61,32 @@ class PersistEvent:
     blocks_issued: int
     dirty_written: int
     clean_resident: int = 0  # flushed lines that were cached but clean
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """One entry of the runtime's observable event stream.
+
+    The stream is consumed by external validators (``repro.analysis``);
+    emission is skipped entirely unless a listener is attached, so the
+    hook surface costs nothing in campaigns.
+
+    Kinds: ``store`` (a recorded write, block granularity), ``region_end``
+    (with its 1-based execution count, emitted *before* any plan flush at
+    that boundary), ``iteration_end`` (likewise before the plan flush),
+    and ``persist`` (one object's commit-point flush; ``scheduled`` marks
+    plan-driven flushes vs. manual/iterator persists).
+    """
+
+    kind: str
+    region: str
+    iteration: int
+    obj: str | None = None
+    blocks: int = 0  # store: blocks written; persist: flushes issued
+    dirty: int = 0  # persist: dirty blocks written back
+    remaining_dirty: int = 0  # persist: object blocks still dirty after it
+    exec_count: int = 0  # region_end: 1-based execution count
+    scheduled: bool = False  # persist: part of a plan flush group
 
 
 @dataclass
@@ -102,6 +128,18 @@ class CountingRuntime:
         self.iteration = 0
         self.region_profile: dict[str, RegionProfile] = {}
         self.object_profile: dict[str, ObjectProfile] = {}
+        self._iterations_seen = 0
+        self._listeners: list[Callable[[RuntimeEvent], None]] = []
+
+    # -- event hook surface ------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[RuntimeEvent], None]) -> None:
+        """Subscribe to the runtime's event stream (see RuntimeEvent)."""
+        self._listeners.append(listener)
+
+    def _emit(self, event: RuntimeEvent) -> None:
+        for listener in self._listeners:
+            listener(event)
 
     def _tick_object(self, obj: DataObject, nblocks: int, write: bool) -> None:
         prof = self.object_profile.setdefault(obj.name, ObjectProfile())
@@ -110,6 +148,13 @@ class CountingRuntime:
         else:
             prof.reads += nblocks
         prof.regions.add(self.current_region)
+        if write and self._listeners:
+            self._emit(
+                RuntimeEvent(
+                    "store", self.current_region, self.iteration,
+                    obj=obj.name, blocks=nblocks,
+                )
+            )
 
     # -- structure hooks -------------------------------------------------------
 
@@ -128,7 +173,14 @@ class CountingRuntime:
         self.iteration = it
 
     def end_iteration(self) -> None:
-        pass
+        self._iterations_seen += 1
+        if self._listeners:
+            self._emit(
+                RuntimeEvent(
+                    "iteration_end", self.current_region, self.iteration,
+                    exec_count=self._iterations_seen,
+                )
+            )
 
     def region_begin(self, rid: str) -> None:
         self.current_region = rid
@@ -136,6 +188,12 @@ class CountingRuntime:
     def region_end(self, rid: str) -> None:
         prof = self.region_profile.setdefault(rid, RegionProfile())
         prof.executions += 1
+        if self._listeners:
+            self._emit(
+                RuntimeEvent(
+                    "region_end", rid, self.iteration, exec_count=prof.executions
+                )
+            )
         self.current_region = MAIN_REGION
 
     # -- access hooks ------------------------------------------------------------
@@ -251,7 +309,14 @@ class Runtime(CountingRuntime):
         """Called after the iterator store at the end of each main-loop
         iteration; executes iteration-granularity plan flushes."""
         heap, _ = self._require()
-        self._iterations_seen = getattr(self, "_iterations_seen", 0) + 1
+        self._iterations_seen += 1
+        if self._listeners:
+            self._emit(
+                RuntimeEvent(
+                    "iteration_end", self.current_region, self.iteration,
+                    exec_count=self._iterations_seen,
+                )
+            )
         if (
             self.plan.at_iteration_end
             and self.plan.objects
@@ -266,6 +331,12 @@ class Runtime(CountingRuntime):
     def region_end(self, rid: str) -> None:
         prof = self.region_profile.setdefault(rid, RegionProfile())
         prof.executions += 1
+        if self._listeners:
+            self._emit(
+                RuntimeEvent(
+                    "region_end", rid, self.iteration, exec_count=prof.executions
+                )
+            )
         if self.plan.flushes_at(rid, prof.executions) and self.plan.objects:
             self._persist_named(self.plan.objects)
         self.current_region = MAIN_REGION
@@ -282,6 +353,8 @@ class Runtime(CountingRuntime):
             i, d = self._do_flush(obj.base_block, obj.end_block, self.plan.invalidate)
             issued += i
             dirty += d
+            if self._listeners:
+                self._emit_persist(obj, i, d, scheduled=True)
         clean = hier.llc.stats.flush_clean_hits - clean_before
         self.persist_events.append(
             PersistEvent(self.current_region, self.iteration, issued, dirty, clean)
@@ -289,7 +362,23 @@ class Runtime(CountingRuntime):
 
     def persist_object(self, obj: DataObject) -> None:
         _, hier = self._require()
-        self._do_flush(obj.base_block, obj.end_block, self.plan.invalidate)
+        i, d = self._do_flush(obj.base_block, obj.end_block, self.plan.invalidate)
+        if self._listeners:
+            self._emit_persist(obj, i, d, scheduled=False)
+
+    def _emit_persist(self, obj: DataObject, issued: int, dirty: int, scheduled: bool) -> None:
+        _, hier = self._require()
+        resident = hier.resident_dirty_blocks()
+        remaining = int(
+            np.count_nonzero((resident >= obj.base_block) & (resident < obj.end_block))
+        )
+        self._emit(
+            RuntimeEvent(
+                "persist", self.current_region, self.iteration,
+                obj=obj.name, blocks=issued, dirty=dirty,
+                remaining_dirty=remaining, scheduled=scheduled,
+            )
+        )
 
     # -- crash machinery -------------------------------------------------------------
 

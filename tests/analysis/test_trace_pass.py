@@ -1,0 +1,183 @@
+"""Dynamic trace pass: commit-point invariants over real and synthetic runs."""
+
+import numpy as np
+
+from repro.analysis import check_trace, run_traced
+from repro.analysis.findings import Severity
+from repro.apps.base import Application, AppFactory
+from repro.nvct.plan import PersistencePlan
+from repro.nvct.runtime import Runtime, RuntimeEvent
+
+
+class TwoObjApp(Application):
+    """Fixture: candidate ``a`` is written every iteration, ``b`` never."""
+
+    NAME = "two-obj"
+    REGIONS = ("R1",)
+
+    def _allocate(self):
+        self.a = self.ws.array("a", (64,))
+        self.b = self.ws.array("b", (64,))
+
+    def _initialize(self):
+        self.a.np[...] = 0.0
+        self.b.np[...] = 0.0
+
+    def _iterate(self, it):
+        with self.ws.region("R1"):
+            v = self.a.read().copy()
+            v += 1.0
+            self.a.write(slice(None), v)
+        return False
+
+    def verify(self):
+        return True
+
+    def reference_outcome(self):
+        return {"s": float(self.a.np.sum())}
+
+
+def factory():
+    return AppFactory(TwoObjApp, nit=3)
+
+
+# -- clean run ----------------------------------------------------------------
+
+
+def test_clean_run_has_no_findings():
+    plan = PersistencePlan.at_loop_end(["a"])
+    events = run_traced(factory(), plan, max_iterations=3)
+    assert check_trace(events, plan, app="two-obj") == []
+
+
+def test_trace_records_store_and_persist_events():
+    plan = PersistencePlan.at_loop_end(["a"])
+    events = run_traced(factory(), plan, max_iterations=2)
+    kinds = {e.kind for e in events}
+    assert {"store", "region_end", "iteration_end", "persist"} <= kinds
+    scheduled = [e for e in events if e.kind == "persist" and e.scheduled]
+    assert [e.obj for e in scheduled] == ["a", "a"]
+    assert all(e.remaining_dirty == 0 for e in scheduled)
+
+
+# -- dead-persist --------------------------------------------------------------
+
+
+def test_dead_persist_fires_once():
+    plan = PersistencePlan.at_loop_end(["a", "b"])
+    events = run_traced(factory(), plan, max_iterations=3)
+    findings = check_trace(events, plan, app="two-obj")
+    assert len(findings) == 1  # deduplicated across the 3 iterations
+    (f,) = findings
+    assert f.rule == "dead-persist"
+    assert f.severity is Severity.WARNING
+    assert "'b'" in f.message
+
+
+# -- dirty-at-commit -----------------------------------------------------------
+
+
+class PartialFlushRuntime(Runtime):
+    """Deliberately broken: commit-point flushes cover only the first
+    half of each object's block range (a missing-flush bug)."""
+
+    def _do_flush(self, b0, b1, invalidate):
+        mid = b0 + max(1, (b1 - b0) // 2)
+        return self.hierarchy.flush(b0, mid, invalidate=invalidate)
+
+
+def test_dirty_at_commit_fires_once():
+    plan = PersistencePlan.at_loop_end(["a"])
+    rt = PartialFlushRuntime(plan=plan)
+    events = run_traced(factory(), plan, max_iterations=3, runtime=rt)
+    findings = check_trace(events, plan, app="two-obj")
+    assert [f.rule for f in findings] == ["dirty-at-commit"]
+    assert findings[0].severity is Severity.ERROR
+    assert "dirty cache blocks" in findings[0].message
+
+
+# -- persist-order -------------------------------------------------------------
+
+
+def test_missing_scheduled_persist_fires_once():
+    plan = PersistencePlan.per_region(("a",), {"R1": 1})
+    events = [
+        RuntimeEvent("store", "R1", 0, obj="a", blocks=4),
+        RuntimeEvent("region_end", "R1", 0, exec_count=1),
+        # plan demands a flush of "a" here; none occurs
+        RuntimeEvent("iteration_end", "R1", 0, exec_count=1),
+    ]
+    findings = check_trace(events, plan, app="synthetic")
+    assert len(findings) == 1
+    (f,) = findings
+    assert f.rule == "persist-order"
+    assert "no persist event occurred" in f.message
+
+
+def test_unscheduled_plan_group_persist_fires():
+    plan = PersistencePlan.per_region(("a",), {"R1": 2})  # every 2nd execution
+    events = [
+        RuntimeEvent("store", "R1", 0, obj="a", blocks=4),
+        RuntimeEvent("region_end", "R1", 0, exec_count=1),
+        # flushing on the 1st execution violates the every-2nd schedule
+        RuntimeEvent("persist", "R1", 0, obj="a", blocks=4, dirty=4, scheduled=True),
+    ]
+    findings = check_trace(events, plan, app="synthetic")
+    assert [f.rule for f in findings] == ["persist-order"]
+    assert "does not match any plan boundary" in findings[0].message
+
+
+def test_wrong_object_set_in_flush_group():
+    plan = PersistencePlan.at_loop_end(["a", "b"])
+    events = [
+        RuntimeEvent("store", "R1", 0, obj="a", blocks=4),
+        RuntimeEvent("store", "R1", 0, obj="b", blocks=4),
+        RuntimeEvent("iteration_end", "R1", 0, exec_count=1),
+        RuntimeEvent("persist", "R1", 0, obj="a", blocks=4, dirty=4, scheduled=True),
+        # "b" is missing from the group
+    ]
+    findings = check_trace(events, plan, app="synthetic")
+    assert [f.rule for f in findings] == ["persist-order"]
+    assert "'b'" in findings[0].message
+
+
+def test_manual_persists_are_exempt_from_schedule():
+    plan = PersistencePlan.none()
+    events = [
+        RuntimeEvent("store", "R1", 0, obj="a", blocks=4),
+        RuntimeEvent("persist", "R1", 0, obj="a", blocks=4, dirty=4, scheduled=False),
+    ]
+    assert check_trace(events, plan, app="synthetic") == []
+
+
+# -- iterator persists in real runs --------------------------------------------
+
+
+def test_iterator_persist_is_alive_and_unscheduled():
+    plan = PersistencePlan.at_loop_end(["a"])
+    events = run_traced(factory(), plan, max_iterations=3)
+    it_persists = [e for e in events if e.kind == "persist" and e.obj == "it"]
+    assert len(it_persists) == 3
+    assert not any(e.scheduled for e in it_persists)
+    # ... and the always-persisted iterator is never a dead persist.
+    assert check_trace(events, plan, app="two-obj") == []
+
+
+def test_listeners_do_not_perturb_the_run():
+    plan = PersistencePlan.at_loop_end(["a"])
+    fac = factory()
+
+    def run(with_listener: bool):
+        rt = Runtime(plan=plan)
+        if with_listener:
+            rt.add_listener(lambda e: None)
+        app = fac.app_cls(runtime=rt, **fac.params)
+        app.setup()
+        app.run(max_iterations=3)
+        return rt.counter, app.a.np.copy(), rt.hierarchy.stats.nvm_writes
+
+    base = run(False)
+    traced = run(True)
+    assert base[0] == traced[0]
+    assert np.array_equal(base[1], traced[1])
+    assert base[2] == traced[2]

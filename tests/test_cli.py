@@ -100,3 +100,51 @@ def test_campaign_until_stable(capsys):
     assert code == 0
     assert "stabilized after" in out
     assert "95% CI" in out
+
+
+BUGGY_APP = """\
+class BadApp:
+    REGIONS = ("R1",)
+
+    def _allocate(self):
+        self.u = self.ws.array("u", (8,))
+
+    def _iterate(self, it):
+        with self.ws.region("R1"):
+            self.u.np[0] = 1.0
+        return False
+"""
+
+
+def test_analyze_strict_over_registry(capsys):
+    code, out = run_cli(capsys, "analyze", "--strict")
+    assert code == 0
+    assert "analysis: OK" in out
+    assert "11 apps traced" in out
+
+
+def test_analyze_reports_findings(capsys, tmp_path):
+    bad = tmp_path / "bad_app.py"
+    bad.write_text(BUGGY_APP)
+    code, out = run_cli(capsys, "analyze", str(bad), "--no-dynamic")
+    assert code == 1
+    assert "raw-np-escape" in out
+    assert "bad_app.py" in out
+
+
+def test_analyze_update_baseline_then_clean(capsys, tmp_path):
+    bad = tmp_path / "bad_app.py"
+    bad.write_text(BUGGY_APP)
+    baseline = tmp_path / "baseline.json"
+    code, out = run_cli(
+        capsys, "analyze", str(bad), "--no-dynamic",
+        "--baseline", str(baseline), "--update-baseline",
+    )
+    assert code == 0
+    assert baseline.exists()
+    code, out = run_cli(
+        capsys, "analyze", str(bad), "--no-dynamic",
+        "--strict", "--baseline", str(baseline),
+    )
+    assert code == 0
+    assert "1 baselined" in out
