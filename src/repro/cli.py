@@ -18,6 +18,11 @@ Commands
     Crash-consistency and instrumentation-escape analyzer over the
     benchmark apps (static AST pass + dynamic trace pass); ``--strict``
     is the CI gate.
+``stats``
+    Dump a machine-readable ``bench.json`` produced by ``campaign
+    --stats`` or the benchmark session, or diff two of them
+    (``--diff current baseline``); the diff's exit code is the CI
+    perf-regression gate (see ``tools/check_bench_regression.py``).
 """
 
 from __future__ import annotations
@@ -84,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="grow the campaign until the estimate moves < 5%% between rounds (the paper's stopping rule)",
     )
+    c.add_argument(
+        "--stats",
+        metavar="FILE",
+        default=None,
+        help="enable telemetry (repro.obs) and write bench.json metrics to "
+        "FILE plus the span trace to FILE's .trace.jsonl sibling",
+    )
     _add_jobs_flag(c)
 
     p = sub.add_parser("plan", help="run the EasyCrash planning workflow")
@@ -135,6 +147,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write all current findings to the baseline file and exit",
     )
 
+    st = sub.add_parser(
+        "stats",
+        help="dump or diff bench.json telemetry files",
+        description="Dump bench.json metric files as tables, or with "
+        "--diff compare CURRENT against BASELINE: rate metrics (unit */s) "
+        "are calibration-normalized and gate the exit code (1 when any "
+        "drops more than --threshold below the baseline).",
+    )
+    st.add_argument("files", nargs="+", metavar="FILE", help="bench.json file(s)")
+    st.add_argument(
+        "--diff", action="store_true",
+        help="treat FILEs as CURRENT BASELINE and compare them",
+    )
+    st.add_argument(
+        "--threshold", type=float, default=0.15, metavar="FRAC",
+        help="allowed fractional slowdown of gated rate metrics (default 0.15)",
+    )
+
     a = sub.add_parser("advise", help="Sec. 8 deployment decision for an application")
     a.add_argument("app")
     a.add_argument("--mtbf-hours", type=float, default=12.0)
@@ -183,46 +213,88 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    import contextlib
+    import os
+
+    from repro import obs
     from repro.apps.registry import get_factory
     from repro.core.planner import EasyCrashConfig, plan_easycrash
     from repro.nvct.campaign import CampaignConfig, run_campaign
     from repro.nvct.plan import PersistencePlan
     from repro.nvct.report import campaign_summary, object_inconsistency_table, region_breakdown
 
-    factory = get_factory(args.app)
-    if args.plan == "none":
-        plan = PersistencePlan.none()
-    elif args.plan == "loop":
-        app = factory.make(None)
-        plan = PersistencePlan.at_loop_end([o.name for o in app.ws.heap.candidates()])
-    else:
-        report = plan_easycrash(
-            factory, EasyCrashConfig(n_tests=args.tests, seed=args.seed)
+    stats_file = getattr(args, "stats", None)
+    scope = obs.enabled() if stats_file else contextlib.nullcontext()
+    with scope as reg:
+        factory = get_factory(args.app)
+        if args.plan == "none":
+            plan = PersistencePlan.none()
+        elif args.plan == "loop":
+            app = factory.make(None)
+            plan = PersistencePlan.at_loop_end([o.name for o in app.ws.heap.candidates()])
+        else:
+            report = plan_easycrash(
+                factory, EasyCrashConfig(n_tests=args.tests, seed=args.seed)
+            )
+            plan = report.plan
+            print(f"critical objects: {', '.join(report.critical_objects) or '(none)'}")
+        cfg = CampaignConfig(
+            n_tests=args.tests, seed=args.seed, plan=plan, n_cores=args.cores
         )
-        plan = report.plan
-        print(f"critical objects: {', '.join(report.critical_objects) or '(none)'}")
-    cfg = CampaignConfig(
-        n_tests=args.tests, seed=args.seed, plan=plan, n_cores=args.cores
-    )
-    if getattr(args, "until_stable", False):
-        from repro.nvct.adaptive import recomputability_interval, run_campaign_until_stable
+        if getattr(args, "until_stable", False):
+            from repro.nvct.adaptive import recomputability_interval, run_campaign_until_stable
 
-        stable = run_campaign_until_stable(factory, cfg, round_size=args.tests)
-        result = stable.result
-        lo, hi = recomputability_interval(result)
-        print(f"stabilized after {stable.rounds} rounds "
-              f"({result.n_tests} tests); 95% CI: [{lo:.3f}, {hi:.3f}]")
-    else:
-        result = run_campaign(factory, cfg)
-    if getattr(args, "save", None):
-        from repro.nvct.serialize import save_campaign
+            stable = run_campaign_until_stable(factory, cfg, round_size=args.tests)
+            result = stable.result
+            lo, hi = recomputability_interval(result)
+            print(f"stabilized after {stable.rounds} rounds "
+                  f"({result.n_tests} tests); 95% CI: [{lo:.3f}, {hi:.3f}]")
+        else:
+            result = run_campaign(factory, cfg)
+        if getattr(args, "save", None):
+            from repro.nvct.serialize import save_campaign
 
-        print(f"campaign saved to {save_campaign(result, args.save)}")
-    print(campaign_summary(result))
-    print()
-    print(region_breakdown(result))
-    print()
-    print(object_inconsistency_table(result))
+            print(f"campaign saved to {save_campaign(result, args.save)}")
+        print(campaign_summary(result))
+        print()
+        print(region_breakdown(result))
+        print()
+        print(object_inconsistency_table(result))
+        if reg is not None:
+            from pathlib import Path
+
+            from repro.obs import export as obs_export
+
+            records = obs_export.bench_records(
+                reg, scale=os.environ.get("REPRO_BENCH_SCALE", "default")
+            )
+            out = obs_export.write_bench(stats_file, records)
+            trace = obs_export.write_jsonl(
+                Path(stats_file).with_suffix(".trace.jsonl"), reg.tracer.to_records()
+            )
+            print(f"\nbench metrics: {out} ({len(records)} records; trace: {trace})")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import sys as _sys
+
+    from repro.obs import export as obs_export
+
+    try:
+        if args.diff:
+            if len(args.files) != 2:
+                print("stats --diff needs exactly CURRENT and BASELINE", file=_sys.stderr)
+                return 2
+            current, baseline = (obs_export.load_bench(f) for f in args.files)
+            diff = obs_export.diff_bench(current, baseline, threshold=args.threshold)
+            print(obs_export.render_diff(diff))
+            return 0 if diff.ok else 1
+        for path in args.files:
+            print(obs_export.render_bench(obs_export.load_bench(path)))
+    except (OSError, ValueError) as exc:
+        print(f"stats: {exc}", file=_sys.stderr)
+        return 2
     return 0
 
 
@@ -359,6 +431,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "advise":
         return _cmd_advise(args)
     if args.command == "system":

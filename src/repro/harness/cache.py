@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro import __version__
+from repro.obs import registry as obs_registry
 from repro.nvct.serialize import (
     FORMAT_VERSION,
     campaign_from_dict,
@@ -160,6 +161,16 @@ class ArtifactCache:
             "stores": self.stores,
         }
 
+    def _count(self, outcome: str) -> None:
+        setattr(self, outcome, getattr(self, outcome) + 1)
+        if (reg := obs_registry()) is not None:
+            reg.counter(f"artifact_cache.{outcome}", unit="ops").inc()
+            lookups = self.hits + self.misses
+            if lookups:
+                reg.gauge("artifact_cache.hit_ratio", unit="ratio").set(
+                    self.hits / lookups
+                )
+
     # -- plumbing -------------------------------------------------------------
 
     def _path(self, kind: str, key: str, ext: str) -> Path:
@@ -168,15 +179,15 @@ class ArtifactCache:
     def _read(self, kind: str, key: str, ext: str, decode) -> Any | None:
         path = self._path(kind, key, ext)
         if not path.exists():
-            self.misses += 1
+            self._count("misses")
             return None
         try:
             artifact = decode(path)
         except Exception:
-            self.errors += 1
-            self.misses += 1
+            self._count("errors")
+            self._count("misses")
             return None
-        self.hits += 1
+        self._count("hits")
         return artifact
 
     def _write(self, kind: str, key: str, ext: str, encode) -> None:
@@ -193,7 +204,7 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
-        self.stores += 1
+        self._count("stores")
 
     # -- campaigns ------------------------------------------------------------
 
@@ -224,13 +235,14 @@ class ArtifactCache:
     def get_plan_report(self, key: str) -> "EasyCrashPlanReport | None":
         from repro.core.planner import EasyCrashPlanReport
 
-        report = self._read("plan", key, "pkl", lambda p: pickle.loads(p.read_bytes()))
-        if report is not None and not isinstance(report, EasyCrashPlanReport):
-            self.hits -= 1  # wrong type counts as corruption, not a hit
-            self.errors += 1
-            self.misses += 1
-            return None
-        return report
+        def decode(p: Path) -> "EasyCrashPlanReport":
+            report = pickle.loads(p.read_bytes())
+            if not isinstance(report, EasyCrashPlanReport):
+                # Wrong type counts as corruption, not a hit.
+                raise TypeError(f"plan entry holds {type(report).__name__}")
+            return report
+
+        return self._read("plan", key, "pkl", decode)
 
     def put_plan_report(self, key: str, report: "EasyCrashPlanReport") -> None:
         self._write(

@@ -62,12 +62,43 @@ class ExperimentReport:
             out += f"\n({self.notes})"
         return out
 
+    @property
+    def stem(self) -> str:
+        """Artifact file stem shared by the text report and its JSON twin."""
+        return self.experiment_id.lower().replace(" ", "_")
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe machine-readable twin of the rendered table."""
+
+        def cell(v: object) -> object:
+            if isinstance(v, (np.integer,)):
+                return int(v)
+            if isinstance(v, (np.floating,)):
+                return float(v)
+            if isinstance(v, (str, int, float, bool)) or v is None:
+                return v
+            return str(v)
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": [str(h) for h in self.headers],
+            "rows": [[cell(c) for c in row] for row in self.rows],
+            "notes": self.notes,
+        }
+
     def save(self, directory: str | Path) -> Path:
-        path = Path(directory)
-        path.mkdir(parents=True, exist_ok=True)
-        target = path / f"{self.experiment_id.lower().replace(' ', '_')}.txt"
-        target.write_text(self.render() + "\n")
-        return target
+        from repro.obs.export import write_text
+
+        return write_text(Path(directory) / f"{self.stem}.txt", self.render())
+
+    def save_json(self, directory: str | Path, **extra: object) -> Path:
+        from repro.obs.export import git_sha, write_json
+
+        doc = self.to_dict()
+        doc.setdefault("git_sha", git_sha())
+        doc.update(extra)
+        return write_json(Path(directory) / f"{self.stem}.json", doc)
 
 
 def _fmt_bytes(n: int) -> str:

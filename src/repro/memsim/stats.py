@@ -8,6 +8,10 @@ primary output next to the NVM value image.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricRegistry
 
 __all__ = ["CacheStats", "MemoryStats"]
 
@@ -46,6 +50,14 @@ class CacheStats:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def publish(self, reg: "MetricRegistry", prefix: str) -> None:
+        """Add this level's event counts to the telemetry registry
+        (``<prefix>.read_hits`` etc.) — called at run boundaries, never
+        on the access path, so simulation speed is unaffected."""
+        for f in fields(self):
+            reg.counter(f"{prefix}.{f.name}", unit="blocks").inc(getattr(self, f.name))
+        reg.counter(f"{prefix}.misses", unit="blocks").inc(self.misses)
+
 
 @dataclass
 class MemoryStats:
@@ -77,3 +89,20 @@ class MemoryStats:
         for name, cs in self.per_level.items():
             d[name] = cs.as_dict()
         return d
+
+    def publish(self, reg: "MetricRegistry", prefix: str = "memsim") -> None:
+        """Add NVM-side and per-level counters to the telemetry registry."""
+        reg.counter(f"{prefix}.nvm_writes", unit="blocks").inc(self.nvm_writes)
+        reg.counter(f"{prefix}.nvm_writes_from_evictions", unit="blocks").inc(
+            self.nvm_writes_from_evictions
+        )
+        reg.counter(f"{prefix}.nvm_writes_from_flushes", unit="blocks").inc(
+            self.nvm_writes_from_flushes
+        )
+        reg.counter(f"{prefix}.nvm_writes_from_drain", unit="blocks").inc(
+            self.nvm_writes_from_drain
+        )
+        reg.counter(f"{prefix}.nvm_writes_from_nt", unit="blocks").inc(self.nvm_writes_from_nt)
+        reg.counter(f"{prefix}.nvm_fills", unit="blocks").inc(self.nvm_fills)
+        for name, cs in self.per_level.items():
+            cs.publish(reg, f"{prefix}.{name}")

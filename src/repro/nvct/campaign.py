@@ -33,6 +33,7 @@ from repro.memsim.config import HierarchyConfig
 from repro.memsim.stats import MemoryStats
 from repro.nvct.plan import PersistencePlan
 from repro.nvct.runtime import CountingRuntime, PersistEvent, RegionProfile, Runtime, Snapshot
+from repro.obs import RuntimeSpanListener, maybe_span, registry
 from repro.util.rng import derive_rng
 
 if TYPE_CHECKING:  # avoid a circular import (apps depend on nvct)
@@ -267,9 +268,18 @@ def _instrumented_run(
             crash_points=crash_points,
             capture_consistent=cfg.verified_mode,
         )
+    reg = registry()
+    listener = None
+    if reg is not None:
+        # Span telemetry rides the PR 2 event-listener hooks: nothing is
+        # attached (and the runtime emits nothing) unless obs is enabled.
+        listener = RuntimeSpanListener(reg.tracer)
+        rt.add_listener(listener)
     app = factory.make(runtime=rt)
     with np.errstate(all="ignore"):
         result = app.run()
+    if listener is not None:
+        listener.close()
     return rt, result.iterations
 
 
@@ -288,7 +298,12 @@ def _run_stats(rt: Runtime, iterations: int) -> RunStats:
 def measure_run(factory: AppFactory, cfg: CampaignConfig) -> RunStats:
     """Instrumented execution without crash points: the event counts of a
     production run under ``cfg.plan`` (performance / write-traffic model)."""
-    rt, iterations = _instrumented_run(factory, cfg, None)
+    reg = registry()
+    with maybe_span(reg.tracer if reg else None, "measure", app=factory.name):
+        rt, iterations = _instrumented_run(factory, cfg, None)
+    if reg is not None:
+        rt.publish_metrics(reg)
+        reg.counter("campaign.measure_runs", unit="runs").inc()
     return _run_stats(rt, iterations)
 
 
@@ -305,40 +320,55 @@ def run_campaign(
     bit-identical at any job count.  ``chunk_timeout`` bounds one chunk's
     wall time before the engine falls back to serial classification.
     """
-    golden_result, _ = factory.golden()
+    reg = registry()
+    tracer = reg.tracer if reg is not None else None
+    with maybe_span(tracer, "campaign", app=factory.name, tests=cfg.n_tests):
+        with maybe_span(tracer, "golden", app=factory.name):
+            golden_result, _ = factory.golden()
 
-    # Profile pass: total access count and the main-loop crash window.
-    counting = CountingRuntime()
-    profiling_app = factory.make(runtime=counting)
-    profiling_app.run()
-    window = (counting.window_begin or 0, counting.counter)
+        # Profile pass: total access count and the main-loop crash window.
+        with maybe_span(tracer, "profile", app=factory.name):
+            counting = CountingRuntime()
+            profiling_app = factory.make(runtime=counting)
+            profiling_app.run()
+        window = (counting.window_begin or 0, counting.counter)
 
-    points = _sample_crash_points(
-        window, cfg.n_tests, cfg.seed, factory.name, cfg.distribution
-    )
-    rt, iterations = _instrumented_run(factory, cfg, points)
-    if len(rt.snapshots) != points.size:
-        raise RuntimeError(
-            f"{factory.name}: {points.size} crash points but {len(rt.snapshots)} snapshots"
+        points = _sample_crash_points(
+            window, cfg.n_tests, cfg.seed, factory.name, cfg.distribution
         )
+        with maybe_span(tracer, "instrumented_run", app=factory.name):
+            rt, iterations = _instrumented_run(factory, cfg, points)
+        if len(rt.snapshots) != points.size:
+            raise RuntimeError(
+                f"{factory.name}: {points.size} crash points but {len(rt.snapshots)} snapshots"
+            )
 
-    from repro.nvct.parallel import DEFAULT_CHUNK_TIMEOUT, classify_snapshots, resolve_jobs
+        from repro.nvct.parallel import DEFAULT_CHUNK_TIMEOUT, classify_snapshots, resolve_jobs
 
-    n_jobs = resolve_jobs(jobs)
-    if n_jobs > 1:
-        records = classify_snapshots(
-            factory,
-            rt.snapshots,
-            golden_result.iterations,
-            cfg,
-            jobs=n_jobs,
-            chunk_timeout=chunk_timeout or DEFAULT_CHUNK_TIMEOUT,
-        )
-    else:
-        records = [
-            _classify(factory, snap, golden_result.iterations, cfg)
-            for snap in rt.snapshots
-        ]
+        n_jobs = resolve_jobs(jobs)
+        with maybe_span(tracer, "classify", app=factory.name, tests=len(rt.snapshots)):
+            if n_jobs > 1:
+                records = classify_snapshots(
+                    factory,
+                    rt.snapshots,
+                    golden_result.iterations,
+                    cfg,
+                    jobs=n_jobs,
+                    chunk_timeout=chunk_timeout or DEFAULT_CHUNK_TIMEOUT,
+                )
+            else:
+                records = [
+                    _classify(factory, snap, golden_result.iterations, cfg)
+                    for snap in rt.snapshots
+                ]
+        if reg is not None:
+            rt.publish_metrics(reg)
+            reg.counter("campaign.runs", unit="campaigns").inc()
+            reg.counter("campaign.tests", unit="tests").inc(len(records))
+            for rec in records:
+                reg.counter(
+                    f"campaign.response.{rec.response.name}", unit="tests"
+                ).inc()
     return CampaignResult(
         app=factory.name,
         plan=cfg.plan,

@@ -34,6 +34,8 @@ import multiprocessing
 import os
 from typing import TYPE_CHECKING, Sequence
 
+from repro.obs import registry
+
 __all__ = [
     "resolve_jobs",
     "chunk_indices",
@@ -181,6 +183,19 @@ def classify_snapshots(
                 _classify(factory, s, golden_iterations, cfg)
                 for s in snapshots[lo:hi]
             )
+    if (reg := registry()) is not None:
+        # Pool utilisation: how much of the fan-out actually ran in
+        # workers vs. fell back to serial recovery in the parent.
+        reg.gauge("parallel.jobs", unit="workers").set(jobs)
+        reg.counter("parallel.chunks_total", unit="chunks").inc(len(chunks))
+        reg.counter("parallel.chunks_parallel", unit="chunks").inc(len(done))
+        reg.counter("parallel.chunks_serial_fallback", unit="chunks").inc(
+            len(chunks) - len(done)
+        )
+        if chunks:
+            reg.gauge("parallel.pool_utilization", unit="ratio").set(
+                len(done) / len(chunks)
+            )
     return out
 
 
@@ -232,6 +247,13 @@ def run_campaigns(
                 done[index] = result
     except Exception:
         pass
+    if (reg := registry()) is not None:
+        reg.gauge("parallel.jobs", unit="workers").set(jobs)
+        reg.counter("parallel.campaigns_total", unit="campaigns").inc(len(specs))
+        reg.counter("parallel.campaigns_parallel", unit="campaigns").inc(len(done))
+        reg.counter("parallel.campaigns_serial_fallback", unit="campaigns").inc(
+            len(specs) - len(done)
+        )
     return [
         done[i] if i in done else run_campaign(f, c)
         for i, (f, c) in enumerate(specs)

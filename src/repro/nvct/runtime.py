@@ -23,9 +23,12 @@ counts used by the performance model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricRegistry
 
 from repro.memsim.blocks import BLOCK_SIZE
 from repro.memsim.config import HierarchyConfig
@@ -140,6 +143,18 @@ class CountingRuntime:
     def _emit(self, event: RuntimeEvent) -> None:
         for listener in self._listeners:
             listener(event)
+
+    def publish_metrics(self, reg: "MetricRegistry") -> None:
+        """Fold this run's aggregate accounting into the telemetry
+        registry (``repro.obs``).  Called once at the end of a run by the
+        campaign layer when telemetry is enabled — the access hot path is
+        never touched."""
+        reg.counter("runtime.accesses", unit="blocks").inc(self.counter)
+        reg.counter("runtime.iterations", unit="iterations").inc(self._iterations_seen)
+        region_hist = reg.histogram("runtime.region_accesses", unit="blocks")
+        for rid, prof in self.region_profile.items():
+            if not rid.startswith("__"):
+                region_hist.observe(prof.accesses)
 
     def _tick_object(self, obj: DataObject, nblocks: int, write: bool) -> None:
         prof = self.object_profile.setdefault(obj.name, ObjectProfile())
@@ -519,6 +534,24 @@ class Runtime(CountingRuntime):
         self.counter = end
 
     # -- end-of-run ---------------------------------------------------------------
+
+    def publish_metrics(self, reg: "MetricRegistry") -> None:
+        """Counting-runtime metrics plus cache-level counters, persist
+        accounting and end-of-run dirty-line residency."""
+        super().publish_metrics(reg)
+        if self.hierarchy is not None:
+            self.hierarchy.stats.publish(reg, "memsim")
+            reg.gauge("runtime.dirty_resident_blocks", unit="blocks").set(
+                int(self.hierarchy.resident_dirty_blocks().size)
+            )
+        reg.counter("persist.ops", unit="ops").inc(len(self.persist_events))
+        dirty_hist = reg.histogram("persist.dirty_per_op", unit="blocks")
+        for ev in self.persist_events:
+            reg.counter("persist.blocks_issued", unit="blocks").inc(ev.blocks_issued)
+            reg.counter("persist.dirty_written", unit="blocks").inc(ev.dirty_written)
+            reg.counter("persist.clean_resident", unit="blocks").inc(ev.clean_resident)
+            dirty_hist.observe(ev.dirty_written)
+        reg.counter("runtime.snapshots", unit="snapshots").inc(len(self.snapshots))
 
     def finalize(self) -> None:
         """Called after a completed run; remaining scheduled crash points

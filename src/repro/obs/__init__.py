@@ -1,0 +1,44 @@
+"""Telemetry & metrics subsystem (``repro.obs``).
+
+Counters/gauges/histograms over the simulator and campaign engine,
+nested wall-clock spans built on the runtime's event-listener hooks, and
+machine-readable exports (``bench.json`` + JSONL traces) that the CI
+perf-regression gate consumes.
+
+Disabled by default and free when disabled: every call site guards on
+``registry() is None``, so no metric objects exist and no listener is
+attached unless ``REPRO_OBS=1`` (or :func:`enable`, which the CLI's
+``--stats`` flag uses).  See ``docs/API.md`` ("repro.obs") for the
+metric catalog, the span hierarchy and the bench.json schema.
+"""
+
+from repro.obs.metrics import (
+    ENV_VAR,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    disable,
+    enable,
+    enabled,
+    registry,
+    reset,
+)
+from repro.obs.spans import RuntimeSpanListener, Span, Tracer, maybe_span
+
+__all__ = [
+    "ENV_VAR",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "registry",
+    "enable",
+    "enabled",
+    "disable",
+    "reset",
+    "Span",
+    "Tracer",
+    "RuntimeSpanListener",
+    "maybe_span",
+]

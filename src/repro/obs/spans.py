@@ -1,0 +1,201 @@
+"""Nested timing spans over the campaign pipeline.
+
+A :class:`Tracer` records a tree of wall-clock spans — ``campaign`` →
+``golden`` / ``profile`` / ``instrumented_run`` / ``classify``, with
+per-iteration and per-region child spans inside the instrumented run —
+without re-instrumenting the runtime: :class:`RuntimeSpanListener`
+subscribes to the :class:`~repro.nvct.runtime.RuntimeEvent` stream that
+PR 2 added for the dynamic analyzer, so the simulator's hot paths emit
+nothing unless a listener is attached (and nothing at all when telemetry
+is off, because no listener is attached then).
+
+Spans keep their parent by index into the tracer's span list, which makes
+the whole trace one flat JSONL-friendly table.  Aggregates (count/total
+per span name) are maintained separately and survive the trace cap, so
+bench.json summaries stay exact even for very long runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, ContextManager, Iterator
+
+if TYPE_CHECKING:
+    from repro.nvct.runtime import RuntimeEvent
+
+__all__ = ["Span", "Tracer", "RuntimeSpanListener", "maybe_span"]
+
+#: Completed spans kept verbatim for JSONL export; aggregation continues
+#: past the cap (``Tracer.dropped`` counts the overflow).
+MAX_TRACE_SPANS = 100_000
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) timed operation."""
+
+    name: str
+    start: float
+    end: float = 0.0
+    parent: int = -1  # index into the tracer's span list; -1 = root
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def as_dict(self, index: int) -> dict[str, object]:
+        out: dict[str, object] = {
+            "index": index,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "parent": self.parent,
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class Tracer:
+    """Span recorder with explicit start/end, a stack for nesting, and
+    name-keyed aggregates.
+
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._stack: list[int] = []
+        self._clock = clock
+        # name -> [count, total_duration]; exact even past the trace cap.
+        self._totals: dict[str, list[float]] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def _append(self, span: Span) -> int:
+        if len(self.spans) >= MAX_TRACE_SPANS:
+            self.dropped += 1
+            return -1
+        self.spans.append(span)
+        return len(self.spans) - 1
+
+    def _aggregate(self, name: str, duration: float) -> None:
+        agg = self._totals.setdefault(name, [0, 0.0])
+        agg[0] += 1
+        agg[1] += duration
+
+    def start(self, name: str, **attrs: object) -> int:
+        """Open a span nested under the current stack top; returns its index."""
+        parent = self._stack[-1] if self._stack else -1
+        idx = self._append(Span(name, self._clock(), 0.0, parent, dict(attrs)))
+        self._stack.append(idx)
+        return idx
+
+    def end(self, idx: int) -> None:
+        """Close the span opened by :meth:`start` (tolerates capped spans)."""
+        now = self._clock()
+        if idx in self._stack:
+            # Unwind anything left open above it (defensive: a listener
+            # that missed its close must not corrupt the nesting).
+            while self._stack and self._stack[-1] != idx:
+                self._stack.pop()
+            self._stack.pop()
+        if 0 <= idx < len(self.spans):
+            span = self.spans[idx]
+            span.end = now
+            self._aggregate(span.name, span.duration)
+        else:  # dropped by the cap: aggregate only
+            self._aggregate("(dropped)", 0.0)
+
+    def record(self, name: str, start: float, end: float, **attrs: object) -> int:
+        """Add an already-completed span under the current stack top."""
+        parent = self._stack[-1] if self._stack else -1
+        idx = self._append(Span(name, start, end, parent, dict(attrs)))
+        self._aggregate(name, max(0.0, end - start))
+        return idx
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[int]:
+        idx = self.start(name, **attrs)
+        try:
+            yield idx
+        finally:
+            self.end(idx)
+
+    # -- views ----------------------------------------------------------------
+
+    def now(self) -> float:
+        return self._clock()
+
+    def count(self, name: str) -> int:
+        return int(self._totals.get(name, [0, 0.0])[0])
+
+    def total(self, name: str) -> float:
+        """Summed duration of all completed spans called ``name``."""
+        return float(self._totals.get(name, [0, 0.0])[1])
+
+    def names(self) -> list[str]:
+        return sorted(self._totals)
+
+    def to_records(self) -> list[dict[str, object]]:
+        """The trace as JSONL-ready rows (parent links by row index)."""
+        return [span.as_dict(i) for i, span in enumerate(self.spans)]
+
+
+def maybe_span(tracer: Tracer | None, name: str, **attrs: object) -> ContextManager[object]:
+    """``tracer.span(...)`` when tracing, a no-op context otherwise.
+
+    Lets instrumented call sites keep a single code path whether or not
+    telemetry is enabled.
+    """
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, **attrs)
+
+
+class RuntimeSpanListener:
+    """Derives iteration/region spans from a runtime's event stream.
+
+    Region spans cover the stretch between consecutive structural events
+    (the runtime emits ``region_end`` but no ``region_begin``; regions
+    are back-to-back inside an iteration, so the previous boundary *is*
+    the region start).  Iteration spans cover ``iteration_end`` to
+    ``iteration_end``.  ``store``/``persist`` events are counted into the
+    registry elsewhere and ignored here, keeping the per-event cost of an
+    attached listener to one string comparison.
+
+    Call :meth:`close` after the run so the trailing open iteration span
+    is not lost (the campaign driver does).
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+        now = tracer.now()
+        self._boundary = now
+        self._iter_start = now
+        self._saw_iteration = False
+
+    def __call__(self, event: "RuntimeEvent") -> None:
+        kind = event.kind
+        if kind == "region_end":
+            now = self.tracer.now()
+            self.tracer.record(
+                f"region:{event.region}", self._boundary, now, iteration=event.iteration
+            )
+            self._boundary = now
+        elif kind == "iteration_end":
+            now = self.tracer.now()
+            self.tracer.record("iteration", self._iter_start, now, index=event.iteration)
+            self._boundary = now
+            self._iter_start = now
+            self._saw_iteration = True
+
+    def close(self) -> None:
+        """Flush the tail: time after the last iteration boundary."""
+        now = self.tracer.now()
+        if now > self._iter_start and self._saw_iteration:
+            self.tracer.record("iteration:tail", self._iter_start, now)

@@ -1,0 +1,13 @@
+"""Every obs test starts and ends with telemetry state untouched."""
+
+import pytest
+
+from repro.obs import metrics
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation(monkeypatch):
+    monkeypatch.delenv(metrics.ENV_VAR, raising=False)
+    metrics.reset()
+    yield
+    metrics.reset()

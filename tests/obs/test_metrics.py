@@ -1,0 +1,136 @@
+"""Counter/gauge/histogram math, the registry, and the REPRO_OBS gate."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import Counter, Gauge, Histogram, Metric, MetricRegistry
+
+
+# -- metric math ---------------------------------------------------------------
+
+
+def test_counter_accumulates():
+    c = Counter("x", unit="blocks")
+    c.inc()
+    c.inc(9)
+    assert c.value == 10
+    assert c.as_dict() == {"kind": "counter", "unit": "blocks", "value": 10}
+
+
+def test_counter_rejects_negative_increments():
+    c = Counter("x")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_keeps_last_value():
+    g = Gauge("x", unit="ratio")
+    g.set(3)
+    g.set(0.5)
+    assert g.value == 0.5
+
+
+def test_histogram_moments_and_buckets():
+    h = Histogram("x", unit="blocks")
+    values = [1.0, 4.0, 4.0, 1024.0]
+    for v in values:
+        h.observe(v)
+    assert h.count == 4
+    assert h.total == pytest.approx(sum(values))
+    assert h.min == 1.0
+    assert h.max == 1024.0
+    assert h.mean == pytest.approx(sum(values) / 4)
+    assert sum(h.buckets) == h.count  # every observation lands in one bucket
+
+
+def test_histogram_overflow_bucket():
+    h = Histogram("x")
+    h.observe(2.0**40)  # beyond the largest bound
+    assert h.buckets[-1] == 1
+
+
+def test_empty_histogram_dict_has_null_extremes():
+    d = Histogram("x").as_dict()
+    assert d["min"] is None and d["max"] is None and d["mean"] is None
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_registry_fetch_or_create_is_idempotent():
+    reg = MetricRegistry()
+    a = reg.counter("a", unit="ops")
+    assert reg.counter("a") is a
+    assert reg.names() == ["a"]
+
+
+def test_registry_rejects_kind_mismatch():
+    reg = MetricRegistry()
+    reg.counter("a")
+    with pytest.raises(TypeError):
+        reg.gauge("a")
+
+
+def test_snapshot_is_plain_dicts():
+    reg = MetricRegistry()
+    reg.counter("c").inc(2)
+    reg.gauge("g").set(1.5)
+    reg.histogram("h").observe(3)
+    snap = reg.snapshot()
+    assert snap["c"]["value"] == 2
+    assert snap["g"]["value"] == 1.5
+    assert snap["h"]["count"] == 1
+
+
+# -- the process gate ----------------------------------------------------------
+
+
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv(metrics.ENV_VAR, raising=False)
+    metrics.reset()
+    assert metrics.registry() is None
+
+
+def test_env_enables(monkeypatch):
+    monkeypatch.setenv(metrics.ENV_VAR, "1")
+    metrics.reset()
+    reg = metrics.registry()
+    assert isinstance(reg, MetricRegistry)
+    assert metrics.registry() is reg  # one registry per process
+
+
+@pytest.mark.parametrize("value", ["0", "false", "no", "off", ""])
+def test_env_falsy_values_stay_disabled(monkeypatch, value):
+    monkeypatch.setenv(metrics.ENV_VAR, value)
+    metrics.reset()
+    assert metrics.registry() is None
+
+
+def test_enable_disable_override_env(monkeypatch):
+    monkeypatch.setenv(metrics.ENV_VAR, "0")
+    metrics.reset()
+    reg = metrics.enable()
+    assert metrics.registry() is reg
+    metrics.disable()
+    assert metrics.registry() is None
+
+
+def test_enabled_context_restores_prior_state():
+    metrics.disable()
+    with metrics.enabled() as reg:
+        assert metrics.registry() is reg
+    assert metrics.registry() is None
+
+
+def test_disabled_state_allocates_no_metric_objects(monkeypatch):
+    """The zero-overhead contract at the allocation level: with the gate
+    off, instrumented code paths construct no metric objects at all."""
+    monkeypatch.setenv(metrics.ENV_VAR, "0")
+    metrics.reset()
+    before = (Metric.allocations, MetricRegistry.allocations)
+    from repro.apps.registry import get_factory
+    from repro.nvct.campaign import CampaignConfig, run_campaign
+
+    run_campaign(get_factory("kmeans"), CampaignConfig(n_tests=4, seed=5))
+    assert metrics.registry() is None
+    assert (Metric.allocations, MetricRegistry.allocations) == before

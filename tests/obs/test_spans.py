@@ -1,0 +1,215 @@
+"""Span nesting, aggregates, the runtime listener, and no-perturbation."""
+
+import numpy as np
+
+from repro.apps.base import Application, AppFactory
+from repro.nvct.campaign import CampaignConfig, measure_run, run_campaign
+from repro.nvct.plan import PersistencePlan
+from repro.nvct.runtime import RuntimeEvent
+from repro.obs import metrics
+from repro.obs.spans import MAX_TRACE_SPANS, Tracer, maybe_span
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each read advances by one second."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+class TwoObjApp(Application):
+    """Fixture: candidate ``a`` is written every iteration, ``b`` never."""
+
+    NAME = "two-obj"
+    REGIONS = ("R1",)
+
+    def _allocate(self):
+        self.a = self.ws.array("a", (64,))
+        self.b = self.ws.array("b", (64,))
+
+    def _initialize(self):
+        self.a.np[...] = 0.0
+        self.b.np[...] = 0.0
+
+    def _iterate(self, it):
+        with self.ws.region("R1"):
+            v = self.a.read().copy()
+            v += 1.0
+            self.a.write(slice(None), v)
+        return False
+
+    def verify(self):
+        return True
+
+    def reference_outcome(self):
+        return {"s": float(self.a.np.sum())}
+
+
+def factory():
+    return AppFactory(TwoObjApp, nit=3)
+
+
+# -- tracer mechanics ----------------------------------------------------------
+
+
+def test_nested_spans_link_parents_by_index():
+    tr = Tracer(clock=FakeClock())
+    with tr.span("outer"):
+        with tr.span("inner"):
+            pass
+        with tr.span("inner"):
+            pass
+    assert [s.name for s in tr.spans] == ["outer", "inner", "inner"]
+    assert tr.spans[0].parent == -1
+    assert tr.spans[1].parent == 0
+    assert tr.spans[2].parent == 0
+
+
+def test_aggregates_track_count_and_total():
+    tr = Tracer(clock=FakeClock())
+    with tr.span("a"):
+        pass  # start at t=1, end at t=2
+    with tr.span("a"):
+        pass  # start at t=3, end at t=4
+    assert tr.count("a") == 2
+    assert tr.total("a") == 2.0
+    assert tr.names() == ["a"]
+
+
+def test_record_completed_span_nests_under_stack_top():
+    tr = Tracer(clock=FakeClock())
+    with tr.span("outer") as outer_idx:
+        idx = tr.record("leaf", 10.0, 12.5, tag="x")
+    assert tr.spans[idx].parent == outer_idx
+    assert tr.spans[idx].duration == 2.5
+    assert tr.spans[idx].attrs == {"tag": "x"}
+
+
+def test_end_unwinds_spans_left_open_above():
+    tr = Tracer(clock=FakeClock())
+    outer = tr.start("outer")
+    tr.start("leaked")  # never closed
+    tr.end(outer)
+    assert tr._stack == []
+    with tr.span("next"):
+        pass
+    assert tr.spans[-1].parent == -1  # not parented under the leak
+
+
+def test_trace_cap_keeps_aggregates_exact():
+    tr = Tracer(clock=FakeClock())
+    tr.spans = [None] * MAX_TRACE_SPANS  # type: ignore[list-item]
+    idx = tr.start("over")
+    assert idx == -1
+    tr.end(idx)
+    assert tr.dropped == 1
+
+
+def test_to_records_round_trip_fields():
+    tr = Tracer(clock=FakeClock())
+    with tr.span("outer", app="EP"):
+        with tr.span("inner"):
+            pass
+    recs = tr.to_records()
+    assert [r["name"] for r in recs] == ["outer", "inner"]
+    assert recs[1]["parent"] == 0
+    assert recs[0]["attrs"] == {"app": "EP"}
+    assert all(r["duration"] >= 0 for r in recs)
+
+
+def test_maybe_span_without_tracer_is_a_noop():
+    with maybe_span(None, "anything", app="EP"):
+        pass  # must not raise, must not record anywhere
+
+
+def test_maybe_span_with_tracer_records():
+    tr = Tracer(clock=FakeClock())
+    with maybe_span(tr, "x"):
+        pass
+    assert tr.count("x") == 1
+
+
+# -- runtime listener ----------------------------------------------------------
+
+
+def _event(kind: str, region: str = "R1", iteration: int = 0) -> RuntimeEvent:
+    return RuntimeEvent(kind=kind, region=region, iteration=iteration)
+
+
+def test_listener_derives_region_and_iteration_spans():
+    from repro.obs.spans import RuntimeSpanListener
+
+    tr = Tracer(clock=FakeClock())
+    listener = RuntimeSpanListener(tr)
+    listener(_event("store"))  # counted elsewhere; must be ignored here
+    listener(_event("region_end", region="R1", iteration=0))
+    listener(_event("region_end", region="R2", iteration=0))
+    listener(_event("iteration_end", iteration=0))
+    listener(_event("region_end", region="R1", iteration=1))
+    listener(_event("iteration_end", iteration=1))
+    listener.close()
+    assert tr.count("region:R1") == 2
+    assert tr.count("region:R2") == 1
+    assert tr.count("iteration") == 2
+    # Consecutive boundaries: R2's span starts where R1's ended.
+    r1, r2 = tr.spans[0], tr.spans[1]
+    assert r2.start == r1.end
+
+
+def test_listener_close_flushes_the_tail():
+    from repro.obs.spans import RuntimeSpanListener
+
+    tr = Tracer(clock=FakeClock())
+    listener = RuntimeSpanListener(tr)
+    listener(_event("iteration_end", iteration=0))
+    listener(_event("region_end", region="R1", iteration=1))  # work after last iter
+    listener.close()
+    assert tr.count("iteration:tail") == 1
+
+
+def test_listener_without_iterations_records_no_tail():
+    from repro.obs.spans import RuntimeSpanListener
+
+    tr = Tracer(clock=FakeClock())
+    RuntimeSpanListener(tr).close()
+    assert tr.count("iteration:tail") == 0
+
+
+def test_real_run_produces_region_and_iteration_spans():
+    with metrics.enabled() as reg:
+        measure_run(factory(), CampaignConfig(plan=PersistencePlan.none()))
+    assert reg.tracer.count("iteration") == 3
+    assert reg.tracer.count("region:R1") == 3
+    assert reg.tracer.total("measure") > 0
+
+
+# -- no perturbation (the PR 2 contract, now for telemetry) --------------------
+
+
+def test_telemetry_does_not_perturb_the_run():
+    cfg = CampaignConfig(n_tests=6, seed=11, plan=PersistencePlan.at_loop_end(["a"]))
+
+    baseline = run_campaign(factory(), cfg)
+    with metrics.enabled():
+        observed = run_campaign(factory(), cfg)
+
+    assert [r.response for r in observed.records] == [r.response for r in baseline.records]
+    assert observed.golden_iterations == baseline.golden_iterations
+    np.testing.assert_array_equal(
+        np.array([r.counter for r in observed.records]),
+        np.array([r.counter for r in baseline.records]),
+    )
+
+
+def test_measure_run_stats_identical_with_and_without_telemetry():
+    cfg = CampaignConfig(plan=PersistencePlan.at_loop_end(["a"]))
+    plain = measure_run(factory(), cfg)
+    with metrics.enabled():
+        traced = measure_run(factory(), cfg)
+    assert traced.total_accesses == plain.total_accesses
+    assert traced.memory.nvm_writes == plain.memory.nvm_writes
+    assert traced.iterations == plain.iterations

@@ -6,16 +6,25 @@ Run after ``pytest benchmarks/ --benchmark-only``:
 
 Each section pairs the paper's reported numbers with the regenerated
 table/figure from ``benchmarks/results/`` and states the shape criteria
-the benchmark suite asserts.
+the benchmark suite asserts.  Sections carry a provenance line from
+their machine-readable JSON twin when one exists, and a closing
+"Performance tracking" section diffs the newest top-level
+``BENCH_<sha>.json`` trajectory file against the committed perf baseline
+(``benchmarks/baseline/bench.json``).
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
-RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
-TARGET = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+RESULTS = ROOT / "benchmarks" / "results"
+BASELINE = ROOT / "benchmarks" / "baseline" / "bench.json"
+TARGET = ROOT / "EXPERIMENTS.md"
 
 SECTIONS: list[tuple[str, str, str]] = [
     (
@@ -188,6 +197,56 @@ campaigns; the paper used 1000-2000 tests).
 """
 
 
+def _twin_note(stem: str) -> str | None:
+    """Provenance line from a section's machine-readable JSON twin."""
+    twin = RESULTS / f"{stem}.json"
+    if not twin.exists():
+        return None
+    try:
+        doc = json.loads(twin.read_text(encoding="utf-8"))
+    except ValueError:
+        return f"*json twin `benchmarks/results/{stem}.json` unreadable*\n"
+    return (
+        f"*json twin: `benchmarks/results/{stem}.json` — "
+        f"{len(doc.get('rows', []))} rows, scale `{doc.get('scale', '?')}`, "
+        f"git `{doc.get('git_sha', '?')}`*\n"
+    )
+
+
+def _perf_section() -> str:
+    """Current-vs-baseline performance deltas from the bench trajectory."""
+    from repro.obs.export import diff_bench, load_bench, render_bench, render_diff
+
+    lines = ["## Performance tracking\n"]
+    lines.append(
+        "Rate metrics (unit `*/s`) from the newest `BENCH_<sha>.json` against\n"
+        "the committed baseline `benchmarks/baseline/bench.json`; the same diff\n"
+        "gates CI (`tools/check_bench_regression.py`, threshold 15%).\n"
+    )
+    try:
+        baseline = load_bench(BASELINE)
+    except (OSError, ValueError):
+        lines.append("*(no committed baseline — run the perf gate once to create it)*\n")
+        return "\n".join(lines)
+    trajectory = sorted(
+        ROOT.glob("BENCH_*.json"), key=lambda p: p.stat().st_mtime, reverse=True
+    )
+    current = None
+    for path in trajectory:
+        try:
+            current = load_bench(path)
+        except (OSError, ValueError):
+            continue
+        lines.append(f"Current run: `{path.name}`.\n")
+        break
+    if current is None:
+        lines.append("*(no BENCH_<sha>.json yet — baseline shown as-is)*\n")
+        lines.append("```\n" + render_bench(baseline) + "\n```\n")
+        return "\n".join(lines)
+    lines.append("```\n" + render_diff(diff_bench(current, baseline)) + "\n```\n")
+    return "\n".join(lines)
+
+
 def main() -> int:
     if not RESULTS.exists():
         print("no benchmarks/results/ — run the benchmark suite first", file=sys.stderr)
@@ -199,11 +258,15 @@ def main() -> int:
         parts.append(f"## {title}\n")
         parts.append(commentary.strip() + "\n")
         if path.exists():
-            parts.append("```\n" + path.read_text().rstrip() + "\n```\n")
+            parts.append("```\n" + path.read_text(encoding="utf-8").rstrip() + "\n```\n")
+            note = _twin_note(stem)
+            if note:
+                parts.append(note)
         else:
             missing.append(stem)
             parts.append("*(artifact missing — rerun the benchmark suite)*\n")
-    TARGET.write_text("\n".join(parts))
+    parts.append(_perf_section())
+    TARGET.write_text("\n".join(parts), encoding="utf-8")
     print(f"wrote {TARGET} ({len(SECTIONS) - len(missing)}/{len(SECTIONS)} sections)")
     if missing:
         print("missing:", ", ".join(missing))
