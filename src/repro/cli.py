@@ -30,6 +30,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import JournalError
+
 __all__ = ["main", "build_parser"]
 
 EXPERIMENTS = {
@@ -95,6 +97,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable telemetry (repro.obs) and write bench.json metrics to "
         "FILE plus the span trace to FILE's .trace.jsonl sibling",
+    )
+    c.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help="write-ahead trial journal (JSONL): created if missing, and a "
+        "rerun against the same journal skips every completed trial — an "
+        "interrupted campaign resumed this way is bit-identical to an "
+        "uninterrupted one",
+    )
+    c.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per failed classification chunk in the parallel "
+        "engine before the circuit breaker degrades to serial (default 2)",
+    )
+    c.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-trial deadline: a trial exceeding it is quarantined as a "
+        "FAILED record instead of hanging the campaign (serial engine, "
+        "Unix only; default: unbounded)",
     )
     _add_jobs_flag(c)
 
@@ -241,7 +269,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cfg = CampaignConfig(
             n_tests=args.tests, seed=args.seed, plan=plan, n_cores=args.cores
         )
+        retry = None
+        if getattr(args, "max_retries", None) is not None:
+            from repro.harness.resilience import RetryPolicy
+
+            retry = RetryPolicy(max_retries=args.max_retries)
         if getattr(args, "until_stable", False):
+            if getattr(args, "resume", None):
+                print("campaign: --resume is not supported with --until-stable "
+                      "(round sizes grow adaptively)", file=sys.stderr)
+                return 2
             from repro.nvct.adaptive import recomputability_interval, run_campaign_until_stable
 
             stable = run_campaign_until_stable(factory, cfg, round_size=args.tests)
@@ -250,7 +287,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"stabilized after {stable.rounds} rounds "
                   f"({result.n_tests} tests); 95% CI: [{lo:.3f}, {hi:.3f}]")
         else:
-            result = run_campaign(factory, cfg)
+            result = run_campaign(
+                factory,
+                cfg,
+                journal=getattr(args, "resume", None),
+                retry=retry,
+                trial_timeout=getattr(args, "trial_timeout", None),
+            )
         if getattr(args, "save", None):
             from repro.nvct.serialize import save_campaign
 
@@ -419,6 +462,24 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_JOBS"] = str(args.jobs)
     if getattr(args, "cache_dir", None):
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    try:
+        return _dispatch(args)
+    except KeyboardInterrupt:
+        # Worker pools are terminated by the context managers unwinding and
+        # every journal append was already fsync'd, so a Ctrl-C'd campaign
+        # with --resume loses at most the trial in flight.
+        print(
+            "\ninterrupted — pools terminated, journal flushed; "
+            "rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return 130
+    except JournalError as exc:
+        print(f"journal: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list-apps":
         return _cmd_list_apps()
     if args.command == "characterize":

@@ -39,3 +39,22 @@ class VerificationError(ReproError):
 class PlanInfeasible(ReproError):
     """Raised when no code-region selection satisfies both the runtime
     overhead bound ``ts`` and the recomputability threshold ``tau``."""
+
+
+class SnapshotCorruptError(ReproError, ValueError):
+    """Raised when serialized campaign/snapshot data is truncated or garbage.
+
+    Subclasses ``ValueError`` so legacy callers that caught the bare
+    decode error keep working; the typed class lets the resilience layer
+    distinguish transport corruption (recoverable: the parent still holds
+    the pristine snapshot) from application failures.
+    """
+
+
+class TrialTimeout(ReproError):
+    """Raised when one crash trial exceeds its ``--trial-timeout`` deadline."""
+
+
+class JournalError(ReproError):
+    """Raised when a campaign journal cannot be used for the requested run
+    (e.g. ``--resume`` with a journal written for a different campaign)."""

@@ -61,6 +61,20 @@ __all__ = [
 ENV_VAR = "REPRO_CACHE_DIR"
 
 
+def _fsync_dir(path: Path) -> None:
+    """Best-effort directory fsync (durability of the rename itself)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _canon(obj: Any) -> Any:
     """JSON-compatible canonical form of a key ingredient."""
     if is_dataclass(obj) and not isinstance(obj, type):
@@ -133,10 +147,15 @@ def plan_report_key(factory: "AppFactory", cfg: "EasyCrashConfig") -> str:
 class ArtifactCache:
     """On-disk artifact store with hit/miss/error accounting.
 
-    Layout: ``root/<kind>/<key[:2]>/<key>.{json,pkl}``.  Writes go
-    through a same-directory temp file + ``os.replace`` so concurrent
-    sessions (or a crash mid-write) can at worst leave an entry that
-    reads as corrupted — which is a counted miss, not an error.
+    Layout: ``root/<kind>/<key[:2]>/<key>.{json,pkl}``.  Writes are
+    atomic and durable: the payload is fsync'd to a same-directory temp
+    file and published with ``os.replace`` (the directory is fsync'd
+    too), so a crash or concurrent session can at worst lose a store —
+    never leave a torn entry.  A failed store is counted
+    (``store_errors``) and swallowed: the cache is an accelerator, and a
+    flaky disk must not take the campaign down with it.  Reads that
+    decode to garbage are counted as errors *and* misses — the artifact
+    is recomputed and rewritten, never raised to the caller.
     """
 
     def __init__(self, root: str | Path):
@@ -146,6 +165,7 @@ class ArtifactCache:
         self.misses = 0
         self.errors = 0  # corrupted/unreadable entries (also counted as misses)
         self.stores = 0
+        self.store_errors = 0  # failed writes (entry simply not cached)
 
     @staticmethod
     def from_env() -> "ArtifactCache | None":
@@ -159,6 +179,7 @@ class ArtifactCache:
             "misses": self.misses,
             "errors": self.errors,
             "stores": self.stores,
+            "store_errors": self.store_errors,
         }
 
     def _count(self, outcome: str) -> None:
@@ -177,12 +198,19 @@ class ArtifactCache:
         return self.root / kind / key[:2] / f"{key}.{ext}"
 
     def _read(self, kind: str, key: str, ext: str, decode) -> Any | None:
+        from repro.harness.chaos import injector as chaos_injector
+
         path = self._path(kind, key, ext)
         if not path.exists():
             self._count("misses")
             return None
         try:
-            artifact = decode(path)
+            data = path.read_bytes()
+            if (ch := chaos_injector()) is not None:
+                ch.maybe_sleep("cache.read")
+                ch.check_io("cache.read")
+                data = ch.corrupt("cache.read", data)
+            artifact = decode(data)
         except Exception:
             self._count("errors")
             self._count("misses")
@@ -190,28 +218,49 @@ class ArtifactCache:
         self._count("hits")
         return artifact
 
-    def _write(self, kind: str, key: str, ext: str, encode) -> None:
+    def _write(self, kind: str, key: str, ext: str, encode) -> bool:
+        """Atomically publish one entry; returns whether the store landed.
+
+        Ordering matters for crash safety: payload fsync'd → ``os.replace``
+        → directory fsync.  A failure at any point (including an injected
+        one) unlinks the temp file and is *counted*, not raised — the
+        caller's artifact is already computed and the campaign goes on.
+        """
+        from repro.harness.chaos import injector as chaos_injector
+
         path = self._path(kind, key, ext)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        except OSError:
+            self._count("store_errors")
+            return False
         try:
             with os.fdopen(fd, "wb") as fh:
                 encode(fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            if (ch := chaos_injector()) is not None:
+                ch.maybe_sleep("cache.write")
+                ch.check_io("cache.write")  # simulated crash before publish
             os.replace(tmp, path)
+            _fsync_dir(path.parent)
         except Exception:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise
+            self._count("store_errors")
+            return False
         self._count("stores")
+        return True
 
     # -- campaigns ------------------------------------------------------------
 
     def get_campaign(self, key: str) -> "CampaignResult | None":
         return self._read(
             "campaign", key, "json",
-            lambda p: campaign_from_dict(json.loads(p.read_text())),
+            lambda data: campaign_from_dict(json.loads(data.decode("utf-8"))),
         )
 
     def put_campaign(self, key: str, result: "CampaignResult") -> None:
@@ -223,7 +272,7 @@ class ArtifactCache:
     def get_stats(self, key: str) -> "RunStats | None":
         return self._read(
             "stats", key, "json",
-            lambda p: run_stats_from_dict(json.loads(p.read_text())),
+            lambda data: run_stats_from_dict(json.loads(data.decode("utf-8"))),
         )
 
     def put_stats(self, key: str, stats: "RunStats") -> None:
@@ -235,8 +284,8 @@ class ArtifactCache:
     def get_plan_report(self, key: str) -> "EasyCrashPlanReport | None":
         from repro.core.planner import EasyCrashPlanReport
 
-        def decode(p: Path) -> "EasyCrashPlanReport":
-            report = pickle.loads(p.read_bytes())
+        def decode(data: bytes) -> "EasyCrashPlanReport":
+            report = pickle.loads(data)
             if not isinstance(report, EasyCrashPlanReport):
                 # Wrong type counts as corruption, not a hit.
                 raise TypeError(f"plan entry holds {type(report).__name__}")

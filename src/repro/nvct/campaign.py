@@ -37,7 +37,10 @@ from repro.obs import RuntimeSpanListener, maybe_span, registry
 from repro.util.rng import derive_rng
 
 if TYPE_CHECKING:  # avoid a circular import (apps depend on nvct)
+    from pathlib import Path
+
     from repro.apps.base import AppFactory
+    from repro.harness.resilience import RetryPolicy
 
 __all__ = [
     "Response",
@@ -50,17 +53,24 @@ __all__ = [
 
 
 class Response(enum.Enum):
-    """The paper's four post-crash application responses (Fig. 3)."""
+    """The paper's four post-crash application responses (Fig. 3), plus
+    ``FAILED`` for trials the *harness* could not complete (quarantined
+    by the resilience layer: a poison trial, a trial-deadline timeout)."""
 
     S1 = "success"
     S2 = "success_extra_iterations"
     S3 = "interruption"
     S4 = "verification_fails"
+    FAILED = "harness_failure"
 
 
 @dataclass
 class CrashTestRecord:
-    """Outcome of one crash test."""
+    """Outcome of one crash test.
+
+    ``error`` is empty except for quarantined (``FAILED``) trials, where
+    it carries the harness exception that poisoned the trial.
+    """
 
     counter: int
     iteration: int
@@ -68,6 +78,7 @@ class CrashTestRecord:
     rates: dict[str, float]
     response: Response
     extra_iterations: int = 0
+    error: str = ""
 
 
 @dataclass(frozen=True)
@@ -217,6 +228,8 @@ def _classify(
     golden_iterations: int,
     cfg: CampaignConfig,
 ) -> CrashTestRecord:
+    from repro.errors import TrialTimeout
+
     app = factory.make(runtime=None)
     state = snap.consistent_state if cfg.verified_mode else snap.nvm_state
     assert state is not None
@@ -231,6 +244,8 @@ def _classify(
             start_iter = app.restore(state)
             result = app.run(start_iter=start_iter, max_iterations=limit)
             ok = app.verify()
+    except TrialTimeout:
+        raise  # a harness deadline, not an application response
     except Exception:
         return CrashTestRecord(
             snap.counter, snap.iteration, snap.region, snap.rates, Response.S3
@@ -247,6 +262,37 @@ def _classify(
     return CrashTestRecord(
         snap.counter, snap.iteration, snap.region, snap.rates, resp, extra
     )
+
+
+def _classify_trial(
+    factory: AppFactory,
+    snap: Snapshot,
+    golden_iterations: int,
+    cfg: CampaignConfig,
+    trial_timeout: float | None = None,
+) -> CrashTestRecord:
+    """Quarantined classification: a poison trial becomes a ``FAILED``
+    record carrying its exception instead of hanging or killing the
+    campaign.  ``trial_timeout`` bounds one trial's wall time (Unix main
+    thread; elsewhere the parallel engine's chunk timeout is the backstop).
+    """
+    from repro.harness.resilience import call_with_deadline
+
+    try:
+        return call_with_deadline(
+            lambda: _classify(factory, snap, golden_iterations, cfg), trial_timeout
+        )
+    except Exception as exc:
+        if (reg := registry()) is not None:
+            reg.counter("campaign.quarantined", unit="tests").inc()
+        return CrashTestRecord(
+            snap.counter,
+            snap.iteration,
+            snap.region,
+            snap.rates,
+            Response.FAILED,
+            error=f"{type(exc).__name__}: {exc}",
+        )
 
 
 def _instrumented_run(
@@ -312,6 +358,9 @@ def run_campaign(
     cfg: CampaignConfig,
     jobs: int | None = None,
     chunk_timeout: float | None = None,
+    journal: "str | Path | None" = None,
+    retry: "RetryPolicy | None" = None,
+    trial_timeout: float | None = None,
 ) -> CampaignResult:
     """Run a full crash-test campaign for one application and plan.
 
@@ -319,6 +368,15 @@ def run_campaign(
     (default: ``REPRO_JOBS``, else serial); the record sequence is
     bit-identical at any job count.  ``chunk_timeout`` bounds one chunk's
     wall time before the engine falls back to serial classification.
+
+    ``journal`` points at a write-ahead JSONL journal
+    (:mod:`repro.nvct.journal`): completed trials are fsync'd as they
+    finish, and a rerun against the same journal skips them — an
+    interrupted campaign resumed this way is bit-identical to an
+    uninterrupted one.  ``retry`` tunes chunk retries/backoff in the
+    parallel engine; ``trial_timeout`` quarantines any single trial that
+    exceeds its deadline as a ``FAILED`` record (wall-clock dependent, so
+    off by default).
     """
     reg = registry()
     tracer = reg.tracer if reg is not None else None
@@ -345,34 +403,70 @@ def run_campaign(
 
         from repro.nvct.parallel import DEFAULT_CHUNK_TIMEOUT, classify_snapshots, resolve_jobs
 
+        journal_obj = None
+        completed: dict[int, CrashTestRecord] = {}
+        if journal is not None:
+            from repro.nvct.journal import CampaignJournal, campaign_header
+
+            journal_obj, completed = CampaignJournal.open_or_resume(
+                journal, campaign_header(factory, cfg)
+            )
+
         n_jobs = resolve_jobs(jobs)
-        with maybe_span(tracer, "classify", app=factory.name, tests=len(rt.snapshots)):
-            if n_jobs > 1:
-                records = classify_snapshots(
-                    factory,
-                    rt.snapshots,
-                    golden_result.iterations,
-                    cfg,
-                    jobs=n_jobs,
-                    chunk_timeout=chunk_timeout or DEFAULT_CHUNK_TIMEOUT,
-                )
-            else:
-                records = [
-                    _classify(factory, snap, golden_result.iterations, cfg)
-                    for snap in rt.snapshots
-                ]
+        n_snaps = len(rt.snapshots)
+        records: list[CrashTestRecord | None] = [None] * n_snaps
+        for i, rec in completed.items():
+            if 0 <= i < n_snaps:
+                records[i] = rec
+        missing = [i for i in range(n_snaps) if records[i] is None]
+        try:
+            with maybe_span(
+                tracer, "classify", app=factory.name, tests=n_snaps,
+                replayed=n_snaps - len(missing),
+            ):
+                if n_jobs > 1 and len(missing) > 1:
+
+                    def _sink(local: int, rec: CrashTestRecord) -> None:
+                        if journal_obj is not None:
+                            journal_obj.append(missing[local], rec)
+
+                    fanned = classify_snapshots(
+                        factory,
+                        [rt.snapshots[i] for i in missing],
+                        golden_result.iterations,
+                        cfg,
+                        jobs=n_jobs,
+                        chunk_timeout=chunk_timeout or DEFAULT_CHUNK_TIMEOUT,
+                        retry=retry,
+                        record_sink=_sink if journal_obj is not None else None,
+                    )
+                    for i, rec in zip(missing, fanned):
+                        records[i] = rec
+                else:
+                    for i in missing:
+                        rec = _classify_trial(
+                            factory, rt.snapshots[i], golden_result.iterations,
+                            cfg, trial_timeout,
+                        )
+                        records[i] = rec
+                        if journal_obj is not None:
+                            journal_obj.append(i, rec)
+        finally:
+            if journal_obj is not None:
+                journal_obj.close()
+        assert all(r is not None for r in records)
         if reg is not None:
             rt.publish_metrics(reg)
             reg.counter("campaign.runs", unit="campaigns").inc()
             reg.counter("campaign.tests", unit="tests").inc(len(records))
-            for rec in records:
+            for rec in records:  # type: ignore[assignment]
                 reg.counter(
                     f"campaign.response.{rec.response.name}", unit="tests"
                 ).inc()
     return CampaignResult(
         app=factory.name,
         plan=cfg.plan,
-        records=records,
+        records=records,  # type: ignore[arg-type]
         run_stats=_run_stats(rt, iterations),
         golden_iterations=golden_result.iterations,
     )

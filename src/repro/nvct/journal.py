@@ -1,0 +1,201 @@
+"""Write-ahead journal for crash-test campaigns (``--resume``).
+
+A paper-scale campaign is hours of classification work; dying at trial
+1,900 of 2,000 must not discard the first 1,899.  This module gives the
+campaign engine the same property the paper demands of applications —
+recomputability under failures — by journaling every completed trial to
+an append-only JSONL file with fsync'd writes:
+
+* line 1 is a **header** carrying the campaign's content key (the same
+  SHA-256 the artifact cache uses, covering app + factory parameters +
+  full config + plan + package version), so a journal can never be
+  resumed against a different campaign;
+* every following line is one completed ``{"kind": "trial", "index": i,
+  "record": {...}}`` entry, flushed and ``fsync``'d before the engine
+  moves on — the write-ahead discipline: a trial is either durably in
+  the journal or will be re-run.
+
+Recovery tolerates exactly the damage a SIGKILL can cause: a torn final
+line (the append that was in flight) is detected and truncated away on
+resume; everything before it is replayed.  Resuming an interrupted
+campaign re-runs the cheap deterministic phases (golden, profile,
+instrumented run — they regenerate the snapshots) and skips every
+journaled classification trial, producing a report **bit-identical** to
+an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import JournalError
+from repro.obs import registry as obs_registry
+
+if TYPE_CHECKING:
+    from repro.apps.base import AppFactory
+    from repro.nvct.campaign import CampaignConfig, CrashTestRecord
+
+__all__ = [
+    "JOURNAL_FORMAT_VERSION",
+    "CampaignJournal",
+    "campaign_header",
+    "load_journal",
+]
+
+JOURNAL_FORMAT_VERSION = 1
+
+
+def campaign_header(factory: "AppFactory", cfg: "CampaignConfig") -> dict:
+    """The header line identifying one campaign's journal."""
+    from repro.harness.cache import campaign_key  # lazy: avoids a package cycle
+
+    return {
+        "kind": "header",
+        "format": JOURNAL_FORMAT_VERSION,
+        "app": factory.name,
+        "key": campaign_key(factory, cfg),
+        "n_tests": cfg.n_tests,
+        "seed": cfg.seed,
+    }
+
+
+def load_journal(path: str | Path) -> tuple[dict | None, dict[int, "CrashTestRecord"], int]:
+    """Read a journal: ``(header, {index: record}, valid_byte_length)``.
+
+    The write-ahead contract makes recovery simple: scan lines in order,
+    stop at the first one that does not decode (a torn in-flight append
+    — everything after it is garbage by construction).  ``header`` is
+    ``None`` when even the first line is unusable.
+    """
+    from repro.nvct.serialize import record_from_dict
+
+    raw = Path(path).read_bytes()
+    header: dict | None = None
+    records: dict[int, "CrashTestRecord"] = {}
+    valid = 0
+    offset = 0
+    while True:
+        newline = raw.find(b"\n", offset)
+        if newline < 0:
+            break  # unterminated tail = the append that was in flight
+        line = raw[offset:newline]
+        try:
+            doc = json.loads(line)
+            if header is None:
+                if doc.get("kind") != "header":
+                    break
+                header = doc
+            elif doc.get("kind") == "trial":
+                records[int(doc["index"])] = record_from_dict(doc["record"])
+        except (ValueError, KeyError, TypeError):
+            break  # garbage line: the journal ends here
+        offset = newline + 1
+        valid = offset
+    return header, records, valid
+
+
+class CampaignJournal:
+    """Append-only fsync'd trial journal for one campaign."""
+
+    def __init__(self, path: str | Path, header: dict):
+        self.path = Path(path)
+        self.header = header
+        self.appended = 0
+        self._fh = None  # type: ignore[assignment]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | Path, header: dict) -> "CampaignJournal":
+        """Start a fresh journal (truncating any previous file)."""
+        journal = cls(path, header)
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        journal._fh = open(journal.path, "wb")
+        journal._write_line(header)
+        return journal
+
+    @classmethod
+    def open_or_resume(
+        cls, path: str | Path, header: dict
+    ) -> tuple["CampaignJournal", dict[int, "CrashTestRecord"]]:
+        """Resume ``path`` if it journals this campaign, else start fresh.
+
+        Missing or empty file → fresh journal, no completed trials.  An
+        existing journal for a *different* campaign raises
+        :class:`~repro.errors.JournalError` instead of silently
+        discarding its contents.  A torn final line is truncated away so
+        subsequent appends stay line-aligned.
+        """
+        path = Path(path)
+        if not path.exists() or path.stat().st_size == 0:
+            return cls.create(path, header), {}
+        found, records, valid = load_journal(path)
+        if found is None:
+            raise JournalError(
+                f"{path}: not a campaign journal (delete it or pick another path)"
+            )
+        if found.get("key") != header.get("key"):
+            raise JournalError(
+                f"{path}: journal belongs to a different campaign "
+                f"(app {found.get('app')!r}, key {str(found.get('key'))[:12]}…); "
+                "refusing to resume"
+            )
+        journal = cls(path, found)
+        journal._fh = open(path, "r+b")
+        journal._fh.truncate(valid)  # drop a torn in-flight append, if any
+        journal._fh.seek(valid)
+        if (reg := obs_registry()) is not None:
+            reg.counter("journal.resumes", unit="resumes").inc()
+            reg.counter("journal.replayed", unit="trials").inc(len(records))
+        return journal, records
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            finally:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- the write-ahead append ----------------------------------------------
+
+    def _write_line(self, doc: dict) -> None:
+        from repro.harness.chaos import injector as chaos_injector
+
+        assert self._fh is not None, "journal is closed"
+        line = json.dumps(doc, sort_keys=True).encode("utf-8") + b"\n"
+        if (ch := chaos_injector()) is not None:
+            ch.maybe_sleep("journal.append")
+            ch.check_io("journal.append")
+        self._fh.write(line)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append(self, index: int, record: "CrashTestRecord") -> None:
+        """Durably journal one completed trial (fsync before returning).
+
+        One transient I/O failure is absorbed by reopening the file and
+        retrying; a second failure propagates — a journal that cannot be
+        written has lost its crash-safety guarantee and must be loud.
+        """
+        from repro.nvct.serialize import record_to_dict
+
+        doc = {"kind": "trial", "index": index, "record": record_to_dict(record)}
+        try:
+            self._write_line(doc)
+        except OSError:
+            self._fh = open(self.path, "ab")
+            self._write_line(doc)
+        self.appended += 1
+        if (reg := obs_registry()) is not None:
+            reg.counter("journal.appends", unit="trials").inc()

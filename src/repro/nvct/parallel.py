@@ -32,7 +32,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.obs import registry
 
@@ -46,6 +46,7 @@ __all__ = [
 
 if TYPE_CHECKING:  # avoid import cycles at runtime
     from repro.apps.base import AppFactory
+    from repro.harness.resilience import RetryPolicy
     from repro.nvct.campaign import CampaignConfig, CampaignResult, CrashTestRecord
     from repro.nvct.runtime import Snapshot
 
@@ -115,16 +116,25 @@ def _classify_worker_init(factory, golden_iterations, cfg) -> None:
 
 
 def _classify_chunk(task: tuple[int, list[dict]]):
-    from repro.nvct.campaign import _classify
+    from repro.harness.chaos import injector as chaos_injector
+    from repro.nvct.campaign import _classify_trial
     from repro.nvct.serialize import unpack_snapshot
 
     assert _worker_state is not None
     index, packed = task
+    if (ch := chaos_injector()) is not None:
+        ch.maybe_kill("parallel.worker")
     st = _worker_state
-    records = [
-        _classify(st["factory"], unpack_snapshot(p), st["golden_iterations"], st["cfg"])
-        for p in packed
-    ]
+    records = []
+    for p in packed:
+        # unpack outside the quarantine: a corrupt *payload*
+        # (SnapshotCorruptError) must fail the whole chunk so the parent
+        # retries / reclassifies from its pristine snapshot, while a
+        # poison *trial* is quarantined as a FAILED record right here.
+        snap = unpack_snapshot(p)
+        records.append(
+            _classify_trial(st["factory"], snap, st["golden_iterations"], st["cfg"])
+        )
     return index, records
 
 
@@ -135,26 +145,66 @@ def classify_snapshots(
     cfg: "CampaignConfig",
     jobs: int | None = None,
     chunk_timeout: float = DEFAULT_CHUNK_TIMEOUT,
+    retry: "RetryPolicy | None" = None,
+    record_sink: "Callable[[int, CrashTestRecord], None] | None" = None,
 ) -> list["CrashTestRecord"]:
     """Classify every snapshot, fanning out over ``jobs`` processes.
 
     Bit-identical to the serial ``[_classify(...) for snap in snapshots]``
     under any job count: classification is pure (plain-mode restart, no
     shared state, no RNG) and records are merged in crash-point order.
-    Falls back to in-process classification for the unfinished remainder
-    on any pool failure or per-chunk timeout.
+
+    Failure handling is layered: a failed or timed-out chunk is
+    resubmitted under ``retry`` (exponential backoff, seeded jitter); a
+    :class:`~repro.harness.resilience.CircuitBreaker` trips after
+    repeated consecutive failures and degrades the rest of the fan-out to
+    serial execution in the parent; any chunk still missing at the end is
+    classified in-process.  Parallelism stays strictly an optimization —
+    it never changes results or raises new errors.
+
+    ``record_sink(index, record)`` is invoked for every record as soon as
+    its chunk lands (journaling hook); indices are positions in
+    ``snapshots``.
     """
-    from repro.nvct.campaign import _classify
+    import time
+
+    from repro.harness.chaos import WORKER_DEATH_TIMEOUT
+    from repro.harness.chaos import injector as chaos_injector
+    from repro.harness.resilience import CircuitBreaker, RetryPolicy
+    from repro.nvct.campaign import _classify_trial
     from repro.nvct.serialize import pack_snapshot
 
     jobs = resolve_jobs(jobs)
     snapshots = list(snapshots)
+
+    def classify_serial(lo: int, hi: int) -> list:
+        out = []
+        for offset, snap in enumerate(snapshots[lo:hi]):
+            rec = _classify_trial(factory, snap, golden_iterations, cfg)
+            if record_sink is not None:
+                record_sink(lo + offset, rec)
+            out.append(rec)
+        return out
+
     if jobs <= 1 or len(snapshots) < 2:
-        return [_classify(factory, s, golden_iterations, cfg) for s in snapshots]
+        return classify_serial(0, len(snapshots))
+
+    if retry is None:
+        retry = RetryPolicy()
+    breaker = CircuitBreaker()
+    if (ch := chaos_injector()) is not None and "worker_death" in ch.kinds:
+        # A killed worker never posts its result; the chunk timeout is the
+        # detection latency, so clamp it to keep fault-injection runs fast.
+        chunk_timeout = min(chunk_timeout, WORKER_DEATH_TIMEOUT)
 
     factory.golden()  # warm before fork so workers inherit it
     chunks = chunk_indices(len(snapshots), jobs)
+    payloads = [
+        (ci, [pack_snapshot(s) for s in snapshots[lo:hi]])
+        for ci, (lo, hi) in enumerate(chunks)
+    ]
     done: dict[int, list] = {}
+    retries = 0
     try:
         with _pool_context().Pool(
             processes=min(jobs, len(chunks)),
@@ -162,27 +212,43 @@ def classify_snapshots(
             initargs=(factory, golden_iterations, cfg),
             maxtasksperchild=MAX_TASKS_PER_CHILD,
         ) as pool:
-            pending = [
-                pool.apply_async(
-                    _classify_chunk,
-                    ((ci, [pack_snapshot(s) for s in snapshots[lo:hi]]),),
-                )
-                for ci, (lo, hi) in enumerate(chunks)
-            ]
-            for res in pending:
-                index, records = res.get(timeout=chunk_timeout)
-                done[index] = records
+            pending = {
+                ci: pool.apply_async(_classify_chunk, (payloads[ci],))
+                for ci in range(len(chunks))
+            }
+            for ci in range(len(chunks)):
+                if not breaker.allow():
+                    break  # degraded to serial: the parent finishes the rest
+                attempt = 0
+                while True:
+                    try:
+                        index, records = pending[ci].get(timeout=chunk_timeout)
+                    except Exception:
+                        tripped = breaker.record_failure()
+                        if tripped or attempt >= retry.max_retries:
+                            break
+                        retries += 1
+                        if (reg := registry()) is not None:
+                            reg.counter("resilience.retries", unit="retries").inc()
+                        time.sleep(retry.delay(f"chunk-{ci}", attempt))
+                        attempt += 1
+                        pending[ci] = pool.apply_async(_classify_chunk, (payloads[ci],))
+                        continue
+                    done[index] = records
+                    breaker.record_success()
+                    if record_sink is not None:
+                        lo, _hi = chunks[index]
+                        for offset, rec in enumerate(records):
+                            record_sink(lo + offset, rec)
+                    break
     except Exception:
-        pass  # serial fallback below fills whatever is missing
+        pass  # pool-level failure: serial recovery below fills the gaps
     out: list = []
     for ci, (lo, hi) in enumerate(chunks):
         if ci in done:
             out.extend(done[ci])
         else:
-            out.extend(
-                _classify(factory, s, golden_iterations, cfg)
-                for s in snapshots[lo:hi]
-            )
+            out.extend(classify_serial(lo, hi))
     if (reg := registry()) is not None:
         # Pool utilisation: how much of the fan-out actually ran in
         # workers vs. fell back to serial recovery in the parent.
@@ -192,6 +258,7 @@ def classify_snapshots(
         reg.counter("parallel.chunks_serial_fallback", unit="chunks").inc(
             len(chunks) - len(done)
         )
+        reg.counter("parallel.chunk_retries", unit="retries").inc(retries)
         if chunks:
             reg.gauge("parallel.pool_utilization", unit="ratio").set(
                 len(done) / len(chunks)
@@ -243,7 +310,12 @@ def run_campaigns(
                 for i, (f, c) in enumerate(specs)
             ]
             for res in pending:
-                index, result = res.get(timeout=timeout)
+                # Per-campaign isolation: one failed/timed-out campaign is
+                # rerun serially below without discarding the others.
+                try:
+                    index, result = res.get(timeout=timeout)
+                except Exception:
+                    continue
                 done[index] = result
     except Exception:
         pass

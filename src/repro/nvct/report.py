@@ -24,6 +24,8 @@ def campaign_summary(result: CampaignResult) -> str:
         f"  recomputability (S1): {result.recomputability():.1%}",
     ]
     for resp in Response:
+        if resp is Response.FAILED and fr[resp] == 0.0:
+            continue  # harness quarantine: only worth a line when nonzero
         lines.append(f"  {resp.name} {resp.value}: {fr[resp]:.1%}")
     extra = result.mean_extra_iterations()
     if not np.isnan(extra):

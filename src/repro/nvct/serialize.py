@@ -19,6 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.errors import SnapshotCorruptError
 from repro.memsim.stats import CacheStats, MemoryStats
 from repro.nvct.campaign import CampaignResult, CrashTestRecord, Response, RunStats
 from repro.nvct.plan import PersistencePlan
@@ -29,6 +30,8 @@ __all__ = [
     "load_campaign",
     "plan_to_dict",
     "plan_from_dict",
+    "record_to_dict",
+    "record_from_dict",
     "run_stats_to_dict",
     "run_stats_from_dict",
     "campaign_to_dict",
@@ -115,6 +118,33 @@ def run_stats_from_dict(rs: dict) -> RunStats:
     )
 
 
+def record_to_dict(r: CrashTestRecord) -> dict:
+    """JSON-compatible dict of one crash-test record (file + journal format)."""
+    doc = {
+        "counter": r.counter,
+        "iteration": r.iteration,
+        "region": r.region,
+        "rates": {k: float(v) for k, v in r.rates.items()},
+        "response": r.response.name,
+        "extra_iterations": r.extra_iterations,
+    }
+    if r.error:
+        doc["error"] = r.error
+    return doc
+
+
+def record_from_dict(r: dict) -> CrashTestRecord:
+    return CrashTestRecord(
+        counter=int(r["counter"]),
+        iteration=int(r["iteration"]),
+        region=r["region"],
+        rates={k: float(v) for k, v in r["rates"].items()},
+        response=Response[r["response"]],
+        extra_iterations=int(r["extra_iterations"]),
+        error=str(r.get("error", "")),
+    )
+
+
 def campaign_to_dict(result: CampaignResult) -> dict:
     """JSON-compatible dict of a full campaign (the file format)."""
     return {
@@ -122,17 +152,7 @@ def campaign_to_dict(result: CampaignResult) -> dict:
         "app": result.app,
         "golden_iterations": result.golden_iterations,
         "plan": _plan_to_dict(result.plan),
-        "records": [
-            {
-                "counter": r.counter,
-                "iteration": r.iteration,
-                "region": r.region,
-                "rates": {k: float(v) for k, v in r.rates.items()},
-                "response": r.response.name,
-                "extra_iterations": r.extra_iterations,
-            }
-            for r in result.records
-        ],
+        "records": [record_to_dict(r) for r in result.records],
         "run_stats": run_stats_to_dict(result.run_stats),
     }
 
@@ -140,17 +160,7 @@ def campaign_to_dict(result: CampaignResult) -> dict:
 def campaign_from_dict(doc: dict) -> CampaignResult:
     if doc.get("format") != FORMAT_VERSION:
         raise ValueError(f"unsupported campaign format: {doc.get('format')!r}")
-    records = [
-        CrashTestRecord(
-            counter=int(r["counter"]),
-            iteration=int(r["iteration"]),
-            region=r["region"],
-            rates={k: float(v) for k, v in r["rates"].items()},
-            response=Response[r["response"]],
-            extra_iterations=int(r["extra_iterations"]),
-        )
-        for r in doc["records"]
-    ]
+    records = [record_from_dict(r) for r in doc["records"]]
     return CampaignResult(
         app=doc["app"],
         plan=_plan_from_dict(doc["plan"]),
@@ -161,15 +171,33 @@ def campaign_from_dict(doc: dict) -> CampaignResult:
 
 
 def save_campaign(result: CampaignResult, path: str | Path) -> Path:
-    """Serialize a campaign to a JSON file; returns the path written."""
-    target = Path(path)
-    target.write_text(json.dumps(campaign_to_dict(result), indent=1))
-    return target
+    """Serialize a campaign to a JSON file; returns the path written.
+
+    Goes through the repository's atomic artifact writer, so a crash
+    mid-save can never leave a torn campaign file behind.
+    """
+    from repro.obs.export import write_text
+
+    return write_text(path, json.dumps(campaign_to_dict(result), indent=1))
 
 
 def load_campaign(path: str | Path) -> CampaignResult:
-    """Load a campaign previously written by :func:`save_campaign`."""
-    return campaign_from_dict(json.loads(Path(path).read_text()))
+    """Load a campaign previously written by :func:`save_campaign`.
+
+    A truncated or garbage file raises the typed
+    :class:`~repro.errors.SnapshotCorruptError` (a ``ValueError``
+    subclass); an unsupported-but-parseable format stays a plain
+    ``ValueError``.
+    """
+    raw = Path(path).read_bytes()
+    try:
+        doc = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise SnapshotCorruptError(f"{path}: not a campaign file ({exc})") from exc
+    try:
+        return campaign_from_dict(doc)
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise SnapshotCorruptError(f"{path}: malformed campaign document ({exc!r})") from exc
 
 
 # Public aliases of the plan round-trip (the artifact cache fingerprints
@@ -186,7 +214,15 @@ def plan_from_dict(d: dict) -> PersistencePlan:
 
 
 def _pack_array(a: np.ndarray) -> dict:
-    return {"dtype": str(a.dtype), "shape": list(a.shape), "data": a.tobytes()}
+    data = a.tobytes()
+    # Chaos hook: a truncated payload here reaches the classification
+    # worker, whose unpack raises SnapshotCorruptError — exercising the
+    # chunk-retry/serial-fallback recovery path end to end.
+    from repro.harness.chaos import injector
+
+    if (ch := injector()) is not None:
+        data = ch.truncate("serialize.pack", data)
+    return {"dtype": str(a.dtype), "shape": list(a.shape), "data": data}
 
 
 def _unpack_array(d: dict) -> np.ndarray:
@@ -211,16 +247,26 @@ def pack_snapshot(snap: Snapshot) -> dict:
 
 
 def unpack_snapshot(d: dict) -> Snapshot:
-    return Snapshot(
-        index=int(d["index"]),
-        counter=int(d["counter"]),
-        iteration=int(d["iteration"]),
-        region=d["region"],
-        nvm_state={k: _unpack_array(v) for k, v in d["nvm_state"].items()},
-        rates=d["rates"],
-        consistent_state=(
-            None
-            if d["consistent_state"] is None
-            else {k: _unpack_array(v) for k, v in d["consistent_state"].items()}
-        ),
-    )
+    """Rebuild a snapshot from :func:`pack_snapshot`'s payload.
+
+    Truncated buffers or missing keys raise the typed
+    :class:`~repro.errors.SnapshotCorruptError` so the transport layer
+    can tell payload corruption (recoverable by re-shipping or falling
+    back to the parent's pristine snapshot) from application failures.
+    """
+    try:
+        return Snapshot(
+            index=int(d["index"]),
+            counter=int(d["counter"]),
+            iteration=int(d["iteration"]),
+            region=d["region"],
+            nvm_state={k: _unpack_array(v) for k, v in d["nvm_state"].items()},
+            rates=d["rates"],
+            consistent_state=(
+                None
+                if d["consistent_state"] is None
+                else {k: _unpack_array(v) for k, v in d["consistent_state"].items()}
+            ),
+        )
+    except (KeyError, TypeError, AttributeError, ValueError) as exc:
+        raise SnapshotCorruptError(f"corrupt snapshot payload: {exc!r}") from exc

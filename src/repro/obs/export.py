@@ -175,11 +175,31 @@ def load_bench(path: str | Path) -> list[dict[str, object]]:
 
 def write_text(path: str | Path, text: str) -> Path:
     """The repository's artifact writer: parent dirs created, UTF-8,
-    exactly one trailing newline.  Text reports, JSON twins and bench
-    files all go through here so the guarantees cannot drift apart."""
+    exactly one trailing newline, **atomic and durable**.  Text reports,
+    JSON twins, bench files and saved campaigns all go through here so
+    the guarantees cannot drift apart: the payload is fsync'd to a
+    same-directory temp file and published with ``os.replace``, so a
+    crash mid-write leaves either the old artifact or the new one —
+    never a torn file."""
+    import os
+    import tempfile
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(text.rstrip("\n") + "\n", encoding="utf-8")
+    payload = (text.rstrip("\n") + "\n").encode("utf-8")
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except Exception:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path
 
 

@@ -1,0 +1,86 @@
+"""Retry policies, circuit breaker, and per-trial deadlines."""
+
+import time
+
+import pytest
+
+from repro.errors import TrialTimeout
+from repro.harness.resilience import CircuitBreaker, RetryPolicy, call_with_deadline
+
+
+def test_backoff_is_exponential_capped_and_seeded():
+    p = RetryPolicy(max_retries=5, base_delay=0.1, max_delay=1.0, seed=3)
+    delays = [p.delay("k", a) for a in range(6)]
+    assert delays == [p.delay("k", a) for a in range(6)]  # deterministic
+    assert RetryPolicy(seed=4).delay("k", 0) != p.delay("k", 0)  # seed matters
+    assert p.delay("other-key", 0) != p.delay("k", 0)  # key matters
+    for attempt, d in enumerate(delays):
+        cap = min(1.0, 0.1 * 2**attempt)
+        assert 0.5 * cap <= d <= cap  # jitter stays within [cap/2, cap]
+    assert delays[5] <= 1.0  # max_delay caps the tail
+
+
+def test_run_retries_then_succeeds():
+    p = RetryPolicy(max_retries=3, base_delay=0.01, seed=1)
+    slept: list[float] = []
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise OSError("transient")
+        return "ok"
+
+    assert p.run(flaky, key="k", sleep=slept.append) == "ok"
+    assert calls["n"] == 3
+    assert slept == [p.delay("k", 0), p.delay("k", 1)]
+
+
+def test_run_exhaustion_reraises_last_error():
+    p = RetryPolicy(max_retries=2, base_delay=0.01, seed=1)
+    calls = {"n": 0}
+
+    def always_fails():
+        calls["n"] += 1
+        raise OSError(f"boom {calls['n']}")
+
+    with pytest.raises(OSError, match="boom 3"):
+        p.run(always_fails, key="k", sleep=lambda _: None)
+    assert calls["n"] == 3  # 1 initial + 2 retries
+
+
+def test_run_non_retryable_propagates_immediately():
+    p = RetryPolicy(max_retries=5, base_delay=0.01, seed=1)
+    calls = {"n": 0}
+
+    def typo():
+        calls["n"] += 1
+        raise KeyError("not transient")
+
+    with pytest.raises(KeyError):
+        p.run(typo, key="k", retryable=(OSError,), sleep=lambda _: None)
+    assert calls["n"] == 1
+
+
+def test_circuit_breaker_trips_on_consecutive_failures():
+    br = CircuitBreaker(threshold=3)
+    assert br.allow()
+    assert not br.record_failure()
+    assert not br.record_failure()
+    br.record_success()  # success resets the streak
+    assert not br.record_failure()
+    assert not br.record_failure()
+    assert br.allow()
+    assert br.record_failure()  # third consecutive: trips
+    assert not br.allow()
+    br.record_success()  # open breakers stay open
+    assert not br.allow()
+
+
+def test_call_with_deadline_passthrough_and_timeout():
+    assert call_with_deadline(lambda: 41 + 1, None) == 42
+    assert call_with_deadline(lambda: "fast", 5.0) == "fast"
+    with pytest.raises(TrialTimeout):
+        call_with_deadline(lambda: time.sleep(10), 0.05)
+    # the timer is disarmed afterwards: a later slow-ish call survives
+    assert call_with_deadline(lambda: time.sleep(0.01) or "ok", 5.0) == "ok"

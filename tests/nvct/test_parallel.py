@@ -17,6 +17,16 @@ from repro.nvct.runtime import CountingRuntime, Runtime
 from repro.nvct.serialize import pack_snapshot, unpack_snapshot
 
 
+@pytest.fixture
+def no_chaos():
+    """Exact byte-level round-trips can't run under REPRO_CHAOS truncation."""
+    from repro.harness import chaos
+
+    chaos.disable()
+    yield
+    chaos.reset()
+
+
 def test_resolve_jobs_precedence(monkeypatch):
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     assert resolve_jobs(None) == 1
@@ -78,7 +88,7 @@ def test_classify_snapshots_matches_inline_classification():
     assert inline == fanned
 
 
-def test_snapshot_pack_roundtrip():
+def test_snapshot_pack_roundtrip(no_chaos):
     factory = get_factory("EP")
     counting = CountingRuntime()
     factory.make(runtime=counting).run()
@@ -92,6 +102,54 @@ def test_snapshot_pack_roundtrip():
     for k in snap.nvm_state:
         np.testing.assert_array_equal(back.nvm_state[k], snap.nvm_state[k])
         np.testing.assert_array_equal(back.consistent_state[k], snap.consistent_state[k])
+
+
+def test_record_sink_sees_every_record_exactly_once():
+    from repro.nvct.campaign import _classify
+
+    factory = get_factory("EP")
+    golden, _ = factory.golden()
+    counting = CountingRuntime()
+    factory.make(runtime=counting).run()
+    points = np.linspace(
+        (counting.window_begin or 0) + 1, counting.counter, 8, dtype=np.int64
+    )
+    cfg = CampaignConfig(plan=PersistencePlan.none())
+    rt = Runtime(plan=cfg.plan, crash_points=points)
+    factory.make(runtime=rt).run()
+    sunk: dict[int, object] = {}
+
+    def sink(index, record):
+        assert index not in sunk  # exactly once per trial
+        sunk[index] = record
+
+    fanned = classify_snapshots(
+        factory, rt.snapshots, golden.iterations, cfg, jobs=2, record_sink=sink
+    )
+    assert sorted(sunk) == list(range(len(rt.snapshots)))
+    assert [sunk[i] for i in range(len(rt.snapshots))] == fanned
+    assert fanned == [
+        _classify(factory, s, golden.iterations, cfg) for s in rt.snapshots
+    ]
+
+
+def test_worker_death_chaos_never_changes_records():
+    """Injected worker deaths (os._exit in the pool) are absorbed by chunk
+    retries and the serial-fallback path without touching the results."""
+    from repro.harness import chaos
+
+    factory = get_factory("EP")
+    cfg = CampaignConfig(n_tests=8, seed=7)
+    chaos.disable()
+    serial = run_campaign(factory, cfg, jobs=1)
+    chaos.enable(13, 0.3, kinds=["worker_death"])
+    try:
+        # short chunk timeout: a killed worker never posts its result, so
+        # the timeout is the death-detection latency
+        survived = run_campaign(factory, cfg, jobs=2, chunk_timeout=2.0)
+    finally:
+        chaos.reset()
+    assert survived.records == serial.records
 
 
 def test_run_campaigns_matches_serial_order():

@@ -1,11 +1,21 @@
 """Campaign serialization round-trip."""
 
+import json
+
 import pytest
 
 from repro.core.selection import select_critical_objects
-from repro.nvct.campaign import CampaignConfig, run_campaign
+from repro.errors import SnapshotCorruptError
+from repro.nvct.campaign import CampaignConfig, CrashTestRecord, Response, run_campaign
 from repro.nvct.plan import PersistencePlan
-from repro.nvct.serialize import load_campaign, save_campaign
+from repro.nvct.serialize import (
+    load_campaign,
+    pack_snapshot,
+    record_from_dict,
+    record_to_dict,
+    save_campaign,
+    unpack_snapshot,
+)
 from tests.nvct.test_campaign import factory
 
 
@@ -53,3 +63,69 @@ def test_bad_format_rejected(tmp_path):
     p.write_text('{"format": 999}')
     with pytest.raises(ValueError):
         load_campaign(p)
+    # ...but a wrong format version is NOT corruption
+    with pytest.raises(ValueError) as exc:
+        load_campaign(p)
+    assert not isinstance(exc.value, SnapshotCorruptError)
+
+
+def test_truncated_file_raises_typed_corruption_error(tmp_path, campaign):
+    path = save_campaign(campaign, tmp_path / "c.json")
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])  # torn mid-write
+    with pytest.raises(SnapshotCorruptError):
+        load_campaign(path)
+
+
+def test_garbage_file_raises_typed_corruption_error(tmp_path):
+    garbage = tmp_path / "garbage.json"
+    garbage.write_bytes(b"\x00\xffnot json at all")
+    with pytest.raises(SnapshotCorruptError):
+        load_campaign(garbage)
+    # parseable JSON with the wrong shape is corruption too
+    missing = tmp_path / "missing.json"
+    missing.write_text(json.dumps({"format": 1, "app": "EP"}))
+    with pytest.raises(SnapshotCorruptError):
+        load_campaign(missing)
+
+
+def test_corruption_error_is_still_a_value_error(tmp_path):
+    """Legacy `except ValueError` corruption handling keeps working."""
+    garbage = tmp_path / "g.json"
+    garbage.write_text("{ nope")
+    with pytest.raises(ValueError):
+        load_campaign(garbage)
+
+
+def test_unpack_rejects_corrupt_payload():
+    import numpy as np
+
+    from repro.nvct.runtime import Snapshot
+
+    snap = Snapshot(
+        index=0, counter=7, iteration=1, region="R1",
+        nvm_state={"a": np.arange(8, dtype=np.float64)}, rates={"a": 0.0},
+        consistent_state=None,
+    )
+    payload = pack_snapshot(snap)
+    assert unpack_snapshot(payload).counter == 7
+    torn = dict(payload)
+    torn["nvm_state"] = {
+        k: {**v, "data": v["data"][: len(v["data"]) // 2 + 1]}
+        for k, v in payload["nvm_state"].items()
+    }
+    with pytest.raises(SnapshotCorruptError):
+        unpack_snapshot(torn)
+    with pytest.raises(SnapshotCorruptError):
+        unpack_snapshot({"index": 0})  # missing keys
+
+
+def test_record_error_field_roundtrip():
+    clean = CrashTestRecord(1, 2, "r", {"a": 0.5}, Response.S1)
+    assert "error" not in record_to_dict(clean)
+    assert record_from_dict(record_to_dict(clean)) == clean
+    failed = CrashTestRecord(
+        1, 2, "r", {"a": 0.5}, Response.FAILED, error="RuntimeError: boom"
+    )
+    assert record_to_dict(failed)["error"] == "RuntimeError: boom"
+    assert record_from_dict(record_to_dict(failed)) == failed

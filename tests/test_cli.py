@@ -102,6 +102,61 @@ def test_campaign_until_stable(capsys):
     assert "95% CI" in out
 
 
+def test_campaign_resume_journals_and_replays(capsys, tmp_path, monkeypatch):
+    journal = tmp_path / "j.jsonl"
+    code, out = run_cli(
+        capsys, "campaign", "kmeans", "--tests", "8", "--resume", str(journal)
+    )
+    assert code == 0
+    assert journal.read_bytes().count(b"\n") == 1 + 8  # header + one line per trial
+
+    # a second run must replay the journal, not reclassify anything
+    def explode(*a, **k):
+        raise AssertionError("resumed run reclassified a journaled trial")
+
+    monkeypatch.setattr("repro.nvct.campaign._classify", explode)
+    code2, out2 = run_cli(
+        capsys, "campaign", "kmeans", "--tests", "8", "--resume", str(journal)
+    )
+    assert code2 == 0
+    assert out2 == out  # bit-identical report
+
+
+def test_campaign_resume_foreign_journal_exits_2(capsys, tmp_path):
+    journal = tmp_path / "j.jsonl"
+    code, _ = run_cli(
+        capsys, "campaign", "kmeans", "--tests", "8", "--resume", str(journal)
+    )
+    assert code == 0
+    code = main(
+        ["campaign", "kmeans", "--tests", "9", "--resume", str(journal)]
+    )
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "different campaign" in err
+
+
+def test_campaign_resume_conflicts_with_until_stable(capsys, tmp_path):
+    code = main(
+        ["campaign", "kmeans", "--tests", "8", "--until-stable",
+         "--resume", str(tmp_path / "j.jsonl")]
+    )
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--until-stable" in err
+
+
+def test_keyboard_interrupt_exits_130_without_traceback(capsys, monkeypatch):
+    def interrupted(*a, **k):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr("repro.nvct.campaign.run_campaign", interrupted)
+    code = main(["campaign", "kmeans", "--tests", "4"])
+    err = capsys.readouterr().err
+    assert code == 130
+    assert "rerun with --resume" in err
+
+
 BUGGY_APP = """\
 class BadApp:
     REGIONS = ("R1",)

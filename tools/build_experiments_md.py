@@ -247,6 +247,44 @@ def _perf_section() -> str:
     return "\n".join(lines)
 
 
+def _chaos_section() -> str:
+    """Static recipe: reproducing a campaign under injected failures."""
+    return """## Recipe — campaigns under injected failures
+
+The paper studies applications that survive crashes; the harness applies
+the same standard to itself.  To reproduce any experiment *while the
+harness is being failed on purpose*:
+
+```bash
+# 1. A long campaign with a write-ahead journal, under 5% fault injection
+#    (worker kills, payload truncation, cache corruption, I/O errors —
+#    deterministic per seed):
+REPRO_CHAOS=7:0.05 python -m repro campaign MG --tests 2000 --jobs 0 \\
+    --resume mg.journal --save mg-chaos.json
+
+# 2. Kill it at any point (Ctrl-C exits 130; SIGKILL is fine too), then
+#    rerun the same command: journaled trials are skipped, and the final
+#    report is bit-identical to an uninterrupted run.
+
+# 3. The control run, no chaos, no interruption:
+python -m repro campaign MG --tests 2000 --jobs 0 --save mg-clean.json
+diff mg-chaos.json mg-clean.json   # identical
+
+# 4. The CI soak (fixed seed, engine test subset + resume smoke):
+REPRO_CHAOS=7:0.05 PYTHONPATH=src python -m pytest -q \\
+    tests/nvct/test_parallel.py tests/nvct/test_journal.py \\
+    tests/harness/test_cache.py tests/harness/test_chaos.py \\
+    tests/harness/test_resilience.py
+```
+
+Injected faults may change *timing* (retries, serial fallback) but never
+*results*: classification is pure, corrupted snapshot payloads fail the
+chunk and are reclassified from the parent's pristine copy, and torn
+cache entries read as misses.  See the *Resilience, chaos & the campaign
+journal* section of `docs/API.md`.
+"""
+
+
 def main() -> int:
     if not RESULTS.exists():
         print("no benchmarks/results/ — run the benchmark suite first", file=sys.stderr)
@@ -265,6 +303,7 @@ def main() -> int:
         else:
             missing.append(stem)
             parts.append("*(artifact missing — rerun the benchmark suite)*\n")
+    parts.append(_chaos_section())
     parts.append(_perf_section())
     TARGET.write_text("\n".join(parts), encoding="utf-8")
     print(f"wrote {TARGET} ({len(SECTIONS) - len(missing)}/{len(SECTIONS)} sections)")
