@@ -23,6 +23,17 @@ Commands
     --stats`` or the benchmark session, or diff two of them
     (``--diff current baseline``); the diff's exit code is the CI
     perf-regression gate (see ``tools/check_bench_regression.py``).
+``doctor``
+    Environment preflight (interpreter/numpy versions, cache-dir
+    writability, free disk, quota, journal ownership) and ``doctor
+    fsck [--repair]``: scan the artifact cache and campaign journals,
+    classifying every entry (ok / legacy-v0 / corrupt / foreign-version
+    / orphaned-tmp); ``--repair`` quarantines the bad ones and rebuilds
+    the LRU index.
+
+Exit codes: 0 success, 1 findings/regression/failed check, 2 usage or
+environment error, 3 data corruption (:class:`~repro.errors.
+SnapshotCorruptError`), 130 interrupted — see :mod:`repro.errors`.
 """
 
 from __future__ import annotations
@@ -30,7 +41,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import JournalError
+from repro.errors import (
+    EXIT_CORRUPT,
+    EXIT_INTERRUPTED,
+    EXIT_USAGE,
+    JournalError,
+    SnapshotCorruptError,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -193,6 +210,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional slowdown of gated rate metrics (default 0.15)",
     )
 
+    d = sub.add_parser(
+        "doctor",
+        help="environment preflight and artifact-store fsck",
+        description="Without an action: preflight the environment a long "
+        "campaign depends on. 'doctor fsck' scans the artifact cache and "
+        "any --journal files, printing a per-entry verdict; --repair "
+        "quarantines bad entries (never deletes), truncates corrupt "
+        "journal tails, and rebuilds the cache's LRU index.",
+    )
+    d.add_argument(
+        "action", nargs="?", choices=["preflight", "fsck"], default="preflight",
+        help="what to run (default: preflight)",
+    )
+    d.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="artifact cache root to check (default: $REPRO_CACHE_DIR)",
+    )
+    d.add_argument(
+        "--journal", action="append", default=[], metavar="FILE",
+        help="campaign journal to check (repeatable)",
+    )
+    d.add_argument(
+        "--repair", action="store_true",
+        help="fsck only: quarantine bad entries and rebuild the LRU index",
+    )
+
     a = sub.add_parser("advise", help="Sec. 8 deployment decision for an application")
     a.add_argument("app")
     a.add_argument("--mtbf-hours", type=float, default=12.0)
@@ -335,9 +378,68 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             return 0 if diff.ok else 1
         for path in args.files:
             print(obs_export.render_bench(obs_export.load_bench(path)))
+    except SnapshotCorruptError:
+        raise  # a ValueError subclass, but corruption exits 3, not 2
     except (OSError, ValueError) as exc:
         print(f"stats: {exc}", file=_sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    import os
+    from pathlib import Path
+
+    from repro.harness import store
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR", "").strip() or None
+    journals = [Path(j) for j in args.journal]
+
+    if args.action == "preflight":
+        checks = store.preflight(cache_dir=cache_dir, journals=journals)
+        width = max(len(c.name) for c in checks)
+        healthy = True
+        for c in checks:
+            print(f"{'ok' if c.ok else 'FAIL':>4}  {c.name:<{width}}  {c.detail}")
+            healthy = healthy and c.ok
+        print("doctor: OK" if healthy else "doctor: FAIL")
+        return 0 if healthy else 1
+
+    # fsck
+    if cache_dir is None and not journals:
+        print(
+            "doctor fsck: nothing to scan (set --cache-dir/$REPRO_CACHE_DIR "
+            "or pass --journal)",
+            file=sys.stderr,
+        )
+        return 2
+    verdicts: list[store.Verdict] = []
+    if cache_dir is not None:
+        verdicts.extend(store.fsck_cache(cache_dir))
+    for journal in journals:
+        journal_verdicts, _ = store.fsck_journal(journal)
+        verdicts.extend(journal_verdicts)
+    for v in verdicts:
+        detail = f"  ({v.detail})" if v.detail else ""
+        print(f"{v.verdict:>15}  {v.path}{detail}")
+    bad = [v for v in verdicts if v.bad]
+    if not bad:
+        print(f"fsck: OK ({len(verdicts)} entr{'y' if len(verdicts) == 1 else 'ies'})")
+        return 0
+    if not args.repair:
+        print(f"fsck: {len(bad)} bad entr{'y' if len(bad) == 1 else 'ies'} "
+              "(rerun with --repair to quarantine)")
+        return 1
+    moved: list[Path] = []
+    if cache_dir is not None:
+        moved.extend(store.repair_cache(cache_dir))
+    for journal in journals:
+        tail = store.repair_journal(journal)
+        if tail is not None:
+            moved.append(tail)
+    for target in moved:
+        print(f"quarantined -> {target}")
+    print(f"fsck: repaired ({len(moved)} quarantined, index rebuilt)")
     return 0
 
 
@@ -473,10 +575,17 @@ def main(argv: list[str] | None = None) -> int:
             "rerun with --resume to continue",
             file=sys.stderr,
         )
-        return 130
+        return EXIT_INTERRUPTED
+    except SnapshotCorruptError as exc:
+        # Corruption that no self-healing path absorbed: distinct exit code
+        # so automation can tell "data is damaged" (run doctor fsck) from
+        # usage errors.
+        print(f"corrupt: {exc}", file=sys.stderr)
+        print("hint: repro doctor fsck --repair quarantines bad entries", file=sys.stderr)
+        return EXIT_CORRUPT
     except JournalError as exc:
         print(f"journal: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -494,6 +603,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_analyze(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "doctor":
+        return _cmd_doctor(args)
     if args.command == "advise":
         return _cmd_advise(args)
     if args.command == "system":

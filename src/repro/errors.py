@@ -1,6 +1,35 @@
-"""Exception hierarchy for the repro package."""
+"""Exception hierarchy for the repro package — and the CLI exit-code taxonomy.
+
+Exit codes (``python -m repro``, enforced in :func:`repro.cli.main` and
+tested by ``tests/test_cli.py``):
+
+====== ======================================================================
+code   meaning
+====== ======================================================================
+``0``  success
+``1``  findings / regression: the command ran but its gate failed (analyzer
+       findings in ``--strict``, a perf regression in ``stats --diff``,
+       a failed doctor check or fsck verdict)
+``2``  usage or environment error: bad arguments, unreadable input,
+       :class:`JournalError` (e.g. resuming a journal that belongs to a
+       different campaign)
+``3``  data corruption: :class:`SnapshotCorruptError` escaped to the top
+       level — a store record, bench document, or campaign file failed its
+       integrity check and no self-healing path applied (``repro doctor
+       fsck --repair`` quarantines the offender)
+``130`` interrupted (Ctrl-C); with ``--resume`` at most the in-flight trial
+       is lost
+====== ======================================================================
+"""
 
 from __future__ import annotations
+
+#: CLI exit codes (see module docstring for the full taxonomy).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_CORRUPT = 3
+EXIT_INTERRUPTED = 130
 
 
 class ReproError(Exception):

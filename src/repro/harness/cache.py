@@ -13,13 +13,21 @@ invalidation logic is needed.
 
 Formats: campaigns and run statistics round-trip through the JSON dicts
 of :mod:`repro.nvct.serialize`; planning reports (deeply nested result
-objects) are pickled.  A corrupted or unreadable entry is counted and
-treated as a miss — the artifact is recomputed and rewritten, never
-raised to the caller.
+objects) are pickled.  Every entry is wrapped in the integrity envelope
+of :mod:`repro.harness.store` (schema version + payload CRC-32 + git
+sha), verified on every read.  A corrupted or unreadable entry is
+**quarantined** (moved under ``quarantine/``, never silently deleted),
+counted, and treated as a miss — the artifact is recomputed and
+rewritten, never raised to the caller.  Pre-envelope (v0) entries are
+still readable through the store's migration shim.
 
 Enable by pointing ``REPRO_CACHE_DIR`` at a directory (created on
 demand); :class:`~repro.harness.context.ExperimentContext` then consults
-the cache before computing anything.
+the cache before computing anything.  ``REPRO_CACHE_QUOTA`` (bytes, or
+``500m``/``2g``) bounds the store's disk footprint: after every write
+the least-recently-used entries are evicted until the store fits (see
+:meth:`ArtifactCache.gc`), so unattended multi-week campaigns cannot
+fill the disk.
 """
 
 from __future__ import annotations
@@ -34,6 +42,9 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro import __version__
+from repro.errors import SnapshotCorruptError
+from repro.harness import store as store_mod
+from repro.harness.store import GCReport, LRUIndex, parse_quota
 from repro.obs import registry as obs_registry
 from repro.nvct.serialize import (
     FORMAT_VERSION,
@@ -59,6 +70,7 @@ __all__ = [
 ]
 
 ENV_VAR = "REPRO_CACHE_DIR"
+QUOTA_ENV_VAR = store_mod.QUOTA_ENV_VAR
 
 
 def _fsync_dir(path: Path) -> None:
@@ -147,25 +159,38 @@ def plan_report_key(factory: "AppFactory", cfg: "EasyCrashConfig") -> str:
 class ArtifactCache:
     """On-disk artifact store with hit/miss/error accounting.
 
-    Layout: ``root/<kind>/<key[:2]>/<key>.{json,pkl}``.  Writes are
+    Layout: ``root/<kind>/<key[:2]>/<key>.{json,pkl}``, each entry in
+    the :mod:`repro.harness.store` integrity envelope.  Writes are
     atomic and durable: the payload is fsync'd to a same-directory temp
     file and published with ``os.replace`` (the directory is fsync'd
     too), so a crash or concurrent session can at worst lose a store —
     never leave a torn entry.  A failed store is counted
     (``store_errors``) and swallowed: the cache is an accelerator, and a
-    flaky disk must not take the campaign down with it.  Reads that
-    decode to garbage are counted as errors *and* misses — the artifact
-    is recomputed and rewritten, never raised to the caller.
+    flaky disk must not take the campaign down with it.  Reads whose
+    envelope fails verification or that decode to garbage are
+    quarantined, counted as errors *and* misses — the artifact is
+    recomputed and rewritten, never raised to the caller.
+
+    ``quota`` (default: ``REPRO_CACHE_QUOTA``) bounds the on-disk bytes;
+    after every store, least-recently-used entries (tracked by the
+    logical-clock :class:`~repro.harness.store.LRUIndex` at the root)
+    are evicted until the store fits.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, quota: int | str | None = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.quota = parse_quota(
+            quota if quota is not None else os.environ.get(QUOTA_ENV_VAR)
+        )
+        self.index = LRUIndex(self.root)
         self.hits = 0
         self.misses = 0
         self.errors = 0  # corrupted/unreadable entries (also counted as misses)
         self.stores = 0
         self.store_errors = 0  # failed writes (entry simply not cached)
+        self.quarantined = 0  # corrupt entries moved aside (subset of errors)
+        self.evictions = 0  # entries removed by quota GC
 
     @staticmethod
     def from_env() -> "ArtifactCache | None":
@@ -180,6 +205,8 @@ class ArtifactCache:
             "errors": self.errors,
             "stores": self.stores,
             "store_errors": self.store_errors,
+            "quarantined": self.quarantined,
+            "evictions": self.evictions,
         }
 
     def _count(self, outcome: str) -> None:
@@ -197,6 +224,17 @@ class ArtifactCache:
     def _path(self, kind: str, key: str, ext: str) -> Path:
         return self.root / kind / key[:2] / f"{key}.{ext}"
 
+    def _rel(self, path: Path) -> str:
+        return path.relative_to(self.root).as_posix()
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (self-healing: recompute replaces it)."""
+        if store_mod.quarantine_file(path, self.root) is not None:
+            self.quarantined += 1
+            if (reg := obs_registry()) is not None:
+                reg.counter("artifact_cache.quarantined", unit="entries").inc()
+        self.index.forget(self._rel(path))
+
     def _read(self, kind: str, key: str, ext: str, decode) -> Any | None:
         from repro.harness.chaos import injector as chaos_injector
 
@@ -210,25 +248,41 @@ class ArtifactCache:
                 ch.maybe_sleep("cache.read")
                 ch.check_io("cache.read")
                 data = ch.corrupt("cache.read", data)
-            artifact = decode(data)
         except Exception:
+            # Transient I/O failure: the entry itself may be fine — miss,
+            # but leave it in place.
             self._count("errors")
             self._count("misses")
             return None
+        try:
+            payload = store_mod.read_payload(data, site="store.read")
+            artifact = decode(payload)
+        except Exception:
+            # Envelope/CRC failure or undecodable payload: the bytes on
+            # disk are bad.  Quarantine the entry and fall through to a
+            # recompute — one flipped bit costs one recomputation.
+            self._quarantine(path)
+            self._count("errors")
+            self._count("misses")
+            return None
+        self.index.touch(self._rel(path))
         self._count("hits")
         return artifact
 
-    def _write(self, kind: str, key: str, ext: str, encode) -> bool:
-        """Atomically publish one entry; returns whether the store landed.
+    def _write(self, kind: str, key: str, ext: str, payload: bytes) -> bool:
+        """Atomically publish one enveloped entry; returns whether it landed.
 
         Ordering matters for crash safety: payload fsync'd → ``os.replace``
         → directory fsync.  A failure at any point (including an injected
         one) unlinks the temp file and is *counted*, not raised — the
         caller's artifact is already computed and the campaign goes on.
+        A successful store updates the LRU index and, when a quota is
+        configured, immediately enforces it.
         """
         from repro.harness.chaos import injector as chaos_injector
 
         path = self._path(kind, key, ext)
+        record = store_mod.pack_record(payload)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -237,7 +291,7 @@ class ArtifactCache:
             return False
         try:
             with os.fdopen(fd, "wb") as fh:
-                encode(fh)
+                fh.write(record)
                 fh.flush()
                 os.fsync(fh.fileno())
             if (ch := chaos_injector()) is not None:
@@ -252,8 +306,38 @@ class ArtifactCache:
                 pass
             self._count("store_errors")
             return False
+        self.index.touch(self._rel(path))
         self._count("stores")
+        if self.quota is not None:
+            self.gc()
         return True
+
+    # -- disk governance -------------------------------------------------------
+
+    def gc(self, quota: int | None = None) -> GCReport:
+        """Evict least-recently-used entries until the store fits the quota.
+
+        ``quota`` defaults to the configured one; with neither set this
+        is a no-op report.  Quarantined records never count against the
+        quota and are never evicted (they are postmortem evidence, not
+        cache state).
+        """
+        limit = quota if quota is not None else self.quota
+        if limit is None:
+            entries = store_mod.collect_entries(self.root)
+            total = sum(size for _, size in entries)
+            return GCReport(quota=0, total_before=total, total_after=total)
+        report = store_mod.run_gc(self.root, limit, self.index)
+        self.evictions += len(report.evicted)
+        if report.evicted and (reg := obs_registry()) is not None:
+            reg.counter("artifact_cache.evictions", unit="entries").inc(
+                len(report.evicted)
+            )
+        return report
+
+    def disk_usage(self) -> int:
+        """Total bytes of live entries (quarantine and index excluded)."""
+        return sum(size for _, size in store_mod.collect_entries(self.root))
 
     # -- campaigns ------------------------------------------------------------
 
@@ -265,7 +349,7 @@ class ArtifactCache:
 
     def put_campaign(self, key: str, result: "CampaignResult") -> None:
         doc = json.dumps(campaign_to_dict(result), indent=1)
-        self._write("campaign", key, "json", lambda fh: fh.write(doc.encode()))
+        self._write("campaign", key, "json", doc.encode())
 
     # -- run statistics --------------------------------------------------------
 
@@ -277,7 +361,7 @@ class ArtifactCache:
 
     def put_stats(self, key: str, stats: "RunStats") -> None:
         doc = json.dumps(run_stats_to_dict(stats), indent=1)
-        self._write("stats", key, "json", lambda fh: fh.write(doc.encode()))
+        self._write("stats", key, "json", doc.encode())
 
     # -- planning reports -------------------------------------------------------
 
@@ -296,5 +380,5 @@ class ArtifactCache:
     def put_plan_report(self, key: str, report: "EasyCrashPlanReport") -> None:
         self._write(
             "plan", key, "pkl",
-            lambda fh: pickle.dump(report, fh, protocol=pickle.HIGHEST_PROTOCOL),
+            pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL),
         )

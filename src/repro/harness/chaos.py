@@ -22,6 +22,12 @@ site                  faults it can fire
                       ``os.replace`` publishes it — atomicity means no
                       torn entry can remain), ``slow_io``
 ``journal.append``    ``os_error``, ``slow_io``
+``store.read``        ``bitflip`` (one flipped bit in the raw record
+                      bytes — the envelope CRC must catch it and the
+                      entry must be quarantined, not crash the
+                      campaign), ``stale_version`` (the record reads as
+                      a foreign schema version — the migration-shim
+                      rejection path)
 ===================== =====================================================
 
 Determinism: whether call *n* at a site fires is a pure function of
@@ -60,7 +66,15 @@ __all__ = [
 ENV_VAR = "REPRO_CHAOS"
 
 #: Every fault kind the injector knows how to fire.
-FAULT_KINDS = ("worker_death", "truncate", "corrupt_read", "os_error", "slow_io")
+FAULT_KINDS = (
+    "worker_death",
+    "truncate",
+    "corrupt_read",
+    "os_error",
+    "slow_io",
+    "bitflip",
+    "stale_version",
+)
 
 #: Seconds a parallel chunk may take when worker-death chaos is active.
 #: A killed worker never posts its result, so the chunk timeout *is* the
@@ -141,6 +155,18 @@ class ChaosInjector:
         if not data or not self.fires(site, "truncate"):
             return data
         return data[: len(data) // 2]
+
+    def bitflip(self, site: str, data: bytes) -> bytes:
+        """Fire ``bitflip``: return ``data`` with one deterministic bit flipped.
+
+        The single-bit analogue of media rot — unlike ``corrupt_read``'s
+        whole-byte XOR this is the minimal damage a checksum must catch.
+        """
+        if not data or not self.fires(site, "bitflip"):
+            return data
+        bit = derive_seed(self.seed, "chaos-bit", site, len(data)) % (len(data) * 8)
+        byte, offset = divmod(bit, 8)
+        return data[:byte] + bytes([data[byte] ^ (1 << offset)]) + data[byte + 1 :]
 
 
 # -- process-wide gate (mirrors repro.obs.metrics) ----------------------------

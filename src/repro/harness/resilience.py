@@ -51,6 +51,12 @@ class RetryPolicy:
     base_delay: float = 0.05
     max_delay: float = 2.0
     attempt_deadline: float | None = None
+    #: Total elapsed-time budget across *all* attempts and backoffs of one
+    #: :meth:`run`.  Retrying stops — the last failure propagates — as soon
+    #: as the next backoff would overrun the budget, so a retry loop can
+    #: never stretch a campaign past its wall-clock allowance even when
+    #: ``max_retries`` alone would permit it.
+    max_elapsed_s: float | None = None
     seed: int = 0
 
     def delay(self, key: str, attempt: int) -> float:
@@ -70,23 +76,39 @@ class RetryPolicy:
         key: str,
         retryable: tuple[type[BaseException], ...] = (OSError, TimeoutError),
         sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
     ) -> T:
         """Call ``fn`` under this policy; re-raise the last failure.
 
         Only ``retryable`` exception types are retried — anything else
         propagates immediately (a deterministic bug does not become less
-        deterministic by running it three times).
+        deterministic by running it three times).  When ``max_elapsed_s``
+        is set, the loop also gives up — re-raising the last failure —
+        once the elapsed time plus the next backoff would exceed the
+        budget.  ``clock`` exists so tests can drive a fake monotonic
+        clock alongside a fake ``sleep``.
         """
         attempt = 0
+        start = clock()
         while True:
             try:
                 return fn()
             except retryable as exc:
                 if attempt >= self.max_retries:
                     raise
+                delay = self.delay(key, attempt)
+                if (
+                    self.max_elapsed_s is not None
+                    and (clock() - start) + delay > self.max_elapsed_s
+                ):
+                    if (reg := obs_registry()) is not None:
+                        reg.counter(
+                            "resilience.budget_exhausted", unit="ops"
+                        ).inc()
+                    raise
                 if (reg := obs_registry()) is not None:
                     reg.counter("resilience.retries", unit="retries").inc()
-                sleep(self.delay(key, attempt))
+                sleep(delay)
                 attempt += 1
                 last = exc  # noqa: F841  (kept for debugger visibility)
 

@@ -11,17 +11,20 @@ an append-only JSONL file with fsync'd writes:
   full config + plan + package version), so a journal can never be
   resumed against a different campaign;
 * every following line is one completed ``{"kind": "trial", "index": i,
-  "record": {...}}`` entry, flushed and ``fsync``'d before the engine
-  moves on — the write-ahead discipline: a trial is either durably in
-  the journal or will be re-run.
+  "record": {...}, "crc": ...}`` entry, flushed and ``fsync``'d before
+  the engine moves on — the write-ahead discipline: a trial is either
+  durably in the journal or will be re-run.
 
-Recovery tolerates exactly the damage a SIGKILL can cause: a torn final
-line (the append that was in flight) is detected and truncated away on
-resume; everything before it is replayed.  Resuming an interrupted
-campaign re-runs the cheap deterministic phases (golden, profile,
-instrumented run — they regenerate the snapshots) and skips every
-journaled classification trial, producing a report **bit-identical** to
-an uninterrupted run.
+Every line (header included) carries a CRC-32 over its canonical JSON
+body (:func:`repro.harness.store.seal_line`), so recovery tolerates both
+kinds of damage persistent state can suffer: a torn final line (the
+append a SIGKILL caught in flight) *and* a silently bit-rotted record.
+Either one ends the journal at the last intact line; the invalid tail is
+**quarantined** next to the journal (never silently discarded) and
+truncated away, and the missing trials are simply re-run — resuming
+still produces a report **bit-identical** to an uninterrupted run.
+Journals written before the CRC era (format 1, no ``crc`` fields) are
+read through the legacy shim rather than rejected.
 """
 
 from __future__ import annotations
@@ -31,7 +34,7 @@ import os
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.errors import JournalError
+from repro.errors import JournalError, SnapshotCorruptError
 from repro.obs import registry as obs_registry
 
 if TYPE_CHECKING:
@@ -42,15 +45,17 @@ __all__ = [
     "JOURNAL_FORMAT_VERSION",
     "CampaignJournal",
     "campaign_header",
+    "scan_journal",
     "load_journal",
 ]
 
-JOURNAL_FORMAT_VERSION = 1
+JOURNAL_FORMAT_VERSION = 2  # 2 = per-line CRCs; 1 (pre-CRC) still readable
 
 
 def campaign_header(factory: "AppFactory", cfg: "CampaignConfig") -> dict:
     """The header line identifying one campaign's journal."""
     from repro.harness.cache import campaign_key  # lazy: avoids a package cycle
+    from repro.harness.store import created_at, store_git_sha
 
     return {
         "kind": "header",
@@ -59,22 +64,24 @@ def campaign_header(factory: "AppFactory", cfg: "CampaignConfig") -> dict:
         "key": campaign_key(factory, cfg),
         "n_tests": cfg.n_tests,
         "seed": cfg.seed,
+        "git_sha": store_git_sha(),
+        "created_at": created_at(),
     }
 
 
-def load_journal(path: str | Path) -> tuple[dict | None, dict[int, "CrashTestRecord"], int]:
-    """Read a journal: ``(header, {index: record}, valid_byte_length)``.
+def scan_journal(raw: bytes) -> tuple[dict | None, list[tuple[dict, int]], int]:
+    """Verify journal bytes line by line: ``(header, lines, valid_length)``.
 
-    The write-ahead contract makes recovery simple: scan lines in order,
-    stop at the first one that does not decode (a torn in-flight append
-    — everything after it is garbage by construction).  ``header`` is
-    ``None`` when even the first line is unusable.
+    ``lines`` holds every intact line as ``(doc, end_offset)`` — header
+    first, CRC fields still attached (the doctor's fsck inspects them).
+    Scanning stops at the first line that fails to decode *or* fails its
+    CRC; ``valid_length`` is the byte length of the intact prefix.
+    ``header`` is ``None`` when even the first line is unusable.
     """
-    from repro.nvct.serialize import record_from_dict
+    from repro.harness.store import open_line
 
-    raw = Path(path).read_bytes()
     header: dict | None = None
-    records: dict[int, "CrashTestRecord"] = {}
+    lines: list[tuple[dict, int]] = []
     valid = 0
     offset = 0
     while True:
@@ -84,16 +91,43 @@ def load_journal(path: str | Path) -> tuple[dict | None, dict[int, "CrashTestRec
         line = raw[offset:newline]
         try:
             doc = json.loads(line)
+            if not isinstance(doc, dict):
+                break
+            open_line(doc)  # CRC check (legacy lines without one pass through)
             if header is None:
                 if doc.get("kind") != "header":
                     break
                 header = doc
-            elif doc.get("kind") == "trial":
-                records[int(doc["index"])] = record_from_dict(doc["record"])
-        except (ValueError, KeyError, TypeError):
-            break  # garbage line: the journal ends here
+        except (ValueError, KeyError, TypeError, SnapshotCorruptError):
+            break  # torn or corrupt line: the journal ends here
         offset = newline + 1
         valid = offset
+        lines.append((doc, valid))
+    return header, lines, valid
+
+
+def load_journal(path: str | Path) -> tuple[dict | None, dict[int, "CrashTestRecord"], int]:
+    """Read a journal: ``(header, {index: record}, valid_byte_length)``.
+
+    The returned header has its transport ``crc`` field stripped;
+    ``valid_byte_length`` covers every line that decoded, passed its CRC,
+    and (for trials) produced a well-formed record.
+    """
+    from repro.nvct.serialize import record_from_dict
+
+    raw = Path(path).read_bytes()
+    header, lines, _ = scan_journal(raw)
+    records: dict[int, "CrashTestRecord"] = {}
+    valid = 0
+    for doc, end in lines:
+        if doc.get("kind") == "trial":
+            try:
+                records[int(doc["index"])] = record_from_dict(doc["record"])
+            except (ValueError, KeyError, TypeError):
+                break  # malformed (legacy, unchecksummed) record: ends here
+        valid = end
+    if header is not None:
+        header = {k: v for k, v in header.items() if k != "crc"}
     return header, records, valid
 
 
@@ -126,9 +160,13 @@ class CampaignJournal:
         Missing or empty file → fresh journal, no completed trials.  An
         existing journal for a *different* campaign raises
         :class:`~repro.errors.JournalError` instead of silently
-        discarding its contents.  A torn final line is truncated away so
-        subsequent appends stay line-aligned.
+        discarding its contents.  An invalid tail — a torn in-flight
+        append or a record that fails its CRC — is quarantined beside
+        the journal and truncated away so subsequent appends stay
+        line-aligned; the affected trials re-run.
         """
+        from repro.harness.store import quarantine_bytes
+
         path = Path(path)
         if not path.exists() or path.stat().st_size == 0:
             return cls.create(path, header), {}
@@ -143,9 +181,12 @@ class CampaignJournal:
                 f"(app {found.get('app')!r}, key {str(found.get('key'))[:12]}…); "
                 "refusing to resume"
             )
+        tail = path.read_bytes()[valid:]
+        if tail:
+            quarantine_bytes(tail, path.parent, path.name + ".tail")
         journal = cls(path, found)
         journal._fh = open(path, "r+b")
-        journal._fh.truncate(valid)  # drop a torn in-flight append, if any
+        journal._fh.truncate(valid)  # drop the quarantined tail from the live file
         journal._fh.seek(valid)
         if (reg := obs_registry()) is not None:
             reg.counter("journal.resumes", unit="resumes").inc()
@@ -171,9 +212,10 @@ class CampaignJournal:
 
     def _write_line(self, doc: dict) -> None:
         from repro.harness.chaos import injector as chaos_injector
+        from repro.harness.store import seal_line
 
         assert self._fh is not None, "journal is closed"
-        line = json.dumps(doc, sort_keys=True).encode("utf-8") + b"\n"
+        line = json.dumps(seal_line(doc), sort_keys=True).encode("utf-8") + b"\n"
         if (ch := chaos_injector()) is not None:
             ch.maybe_sleep("journal.append")
             ch.check_io("journal.append")

@@ -214,7 +214,13 @@ def plan_from_dict(d: dict) -> PersistencePlan:
 
 
 def _pack_array(a: np.ndarray) -> dict:
+    from repro.harness.store import crc32
+
     data = a.tobytes()
+    # The CRC covers the *intended* bytes: it is computed before the
+    # chaos hook below, so injected damage is caught by the checksum
+    # exactly like real in-flight corruption would be.
+    checksum = crc32(data)
     # Chaos hook: a truncated payload here reaches the classification
     # worker, whose unpack raises SnapshotCorruptError — exercising the
     # chunk-retry/serial-fallback recovery path end to end.
@@ -222,11 +228,22 @@ def _pack_array(a: np.ndarray) -> dict:
 
     if (ch := injector()) is not None:
         data = ch.truncate("serialize.pack", data)
-    return {"dtype": str(a.dtype), "shape": list(a.shape), "data": data}
+        data = ch.bitflip("serialize.pack", data)
+    return {"dtype": str(a.dtype), "shape": list(a.shape), "data": data, "crc32": checksum}
 
 
 def _unpack_array(d: dict) -> np.ndarray:
-    return np.frombuffer(d["data"], dtype=d["dtype"]).reshape(d["shape"]).copy()
+    from repro.harness.store import crc32
+
+    data = d["data"]
+    # v0 payloads (packed before the checksum era) carry no "crc32" key
+    # and pass through unverified — the shape/dtype checks below are
+    # their only guard, as before this change.
+    if "crc32" in d and crc32(data) != d["crc32"]:
+        raise SnapshotCorruptError(
+            f"snapshot array failed its checksum ({len(data)} bytes, dtype {d['dtype']})"
+        )
+    return np.frombuffer(data, dtype=d["dtype"]).reshape(d["shape"]).copy()
 
 
 def pack_snapshot(snap: Snapshot) -> dict:

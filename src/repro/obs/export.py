@@ -167,7 +167,18 @@ def validate_bench(records: object) -> list[dict[str, object]]:
 
 
 def load_bench(path: str | Path) -> list[dict[str, object]]:
-    return validate_bench(json.loads(Path(path).read_text(encoding="utf-8")))
+    """Load a bench document, verifying its integrity envelope.
+
+    Enveloped documents (written by :func:`write_bench` since the store
+    era) have their payload CRC checked — a mismatch raises the typed
+    :class:`~repro.errors.SnapshotCorruptError`.  Pre-envelope (v0)
+    documents — bare JSON arrays, like the committed CI baseline — pass
+    through the legacy shim unverified.
+    """
+    from repro.harness.store import open_json_doc
+
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    return validate_bench(open_json_doc(doc))
 
 
 # -- the one writer ------------------------------------------------------------
@@ -177,30 +188,13 @@ def write_text(path: str | Path, text: str) -> Path:
     """The repository's artifact writer: parent dirs created, UTF-8,
     exactly one trailing newline, **atomic and durable**.  Text reports,
     JSON twins, bench files and saved campaigns all go through here so
-    the guarantees cannot drift apart: the payload is fsync'd to a
-    same-directory temp file and published with ``os.replace``, so a
-    crash mid-write leaves either the old artifact or the new one —
-    never a torn file."""
-    import os
-    import tempfile
+    the guarantees cannot drift apart: it delegates to
+    :func:`repro.harness.store.atomic_write_bytes` (fsync'd same-dir temp
+    file + ``os.replace`` + directory fsync), so a crash mid-write leaves
+    either the old artifact or the new one — never a torn file."""
+    from repro.harness.store import atomic_write_bytes
 
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = (text.rstrip("\n") + "\n").encode("utf-8")
-    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            fh.write(payload)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except Exception:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-    return path
+    return atomic_write_bytes(path, (text.rstrip("\n") + "\n").encode("utf-8"))
 
 
 def write_json(path: str | Path, obj: object) -> Path:
@@ -208,7 +202,15 @@ def write_json(path: str | Path, obj: object) -> Path:
 
 
 def write_bench(path: str | Path, records: Sequence[dict[str, object]]) -> Path:
-    return write_json(path, validate_bench(list(records)))
+    """Write a bench document wrapped in the store's in-document envelope.
+
+    The file stays a plain JSON document (external tooling can still
+    parse it — the records live under ``"payload"``), but gains a header
+    with a payload CRC that :func:`load_bench` verifies.
+    """
+    from repro.harness.store import seal_json_doc
+
+    return write_json(path, seal_json_doc(validate_bench(list(records))))
 
 
 def write_jsonl(path: str | Path, rows: Iterable[dict[str, object]]) -> Path:

@@ -39,6 +39,7 @@ __all__ = [
     "Histogram",
     "MetricRegistry",
     "registry",
+    "bump",
     "enable",
     "disable",
     "reset",
@@ -220,6 +221,18 @@ def registry() -> MetricRegistry | None:
         if _env_enabled():
             _registry = MetricRegistry()
     return _registry
+
+
+def bump(name: str, unit: str = "", n: int = 1) -> None:
+    """Increment counter ``name`` iff telemetry is enabled (else free no-op).
+
+    The one-line guard used by sites that only ever count (the artifact
+    store's ``store.crc_failures`` / ``store.quarantined`` /
+    ``store.legacy_reads`` / ``store.gc_*`` family); sites that also set
+    gauges or record histograms keep the explicit ``registry()`` guard.
+    """
+    if (reg := registry()) is not None:
+        reg.counter(name, unit=unit).inc(n)
 
 
 def enable() -> MetricRegistry:

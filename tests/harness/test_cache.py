@@ -46,7 +46,8 @@ def test_campaign_round_trip(cache):
     assert loaded.plan == result.plan
     assert loaded.run_stats.total_accesses == result.run_stats.total_accesses
     assert cache.stats() == {
-        "hits": 1, "misses": 1, "errors": 0, "stores": 1, "store_errors": 0
+        "hits": 1, "misses": 1, "errors": 0, "stores": 1, "store_errors": 0,
+        "quarantined": 0, "evictions": 0,
     }
 
 

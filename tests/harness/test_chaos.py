@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.harness import chaos
+from repro.harness import chaos, store
 from repro.harness.chaos import ChaosInjector, InjectedFault
 
 
@@ -112,7 +112,10 @@ def test_cache_soak_no_torn_entries(tmp_path):
     stats = cache.stats()
     assert stats["errors"] > 0 or stats["store_errors"] > 0  # faults landed
     for entry in (tmp_path / "store").rglob("*.json"):
-        json.loads(entry.read_text())  # every surviving entry parses
+        if entry.name == "index.json" or "quarantine" in entry.parts:
+            continue
+        # every surviving live entry verifies and parses
+        json.loads(store.read_payload(entry.read_bytes()))
     assert not list((tmp_path / "store").rglob("*.tmp"))
 
 
@@ -128,3 +131,55 @@ def test_parallel_campaign_identical_under_chaos():
     noisy = run_campaign(get_factory("EP"), cfg, jobs=2, chunk_timeout=2.0)
     chaos.disable()
     assert noisy.records == baseline.records
+
+
+def test_slow_io_sleeps_and_counts(monkeypatch):
+    ch = ChaosInjector(2, 1.0, kinds=["slow_io"])
+    naps: list[float] = []
+    monkeypatch.setattr(chaos.time, "sleep", naps.append)
+    ch.maybe_sleep("cache.read")
+    assert naps == [chaos.SLOW_IO_SECONDS]
+    assert ch.injected["slow_io"] == 1
+    # a zero rate never fires
+    ChaosInjector(2, 0.0).maybe_sleep("cache.read")
+    assert naps == [chaos.SLOW_IO_SECONDS]
+
+
+def test_os_error_read_is_transient_and_never_quarantines(tmp_path):
+    """An injected I/O error on read is a counted miss; the entry itself
+    is intact and MUST stay in place (quarantine is for bad bytes only)."""
+    from repro.apps.registry import get_factory
+    from repro.harness.cache import ArtifactCache, campaign_key
+    from repro.nvct.campaign import CampaignConfig, run_campaign
+
+    factory = get_factory("EP")
+    cfg = CampaignConfig(n_tests=3, seed=6)
+    result = run_campaign(factory, cfg)
+    key = campaign_key(factory, cfg)
+    cache = ArtifactCache(tmp_path / "store")
+    cache.put_campaign(key, result)
+    chaos.enable(1, 1.0, kinds=["os_error"])
+    assert cache.get_campaign(key) is None  # transient failure -> miss
+    chaos.disable()
+    stats = cache.stats()
+    assert stats["errors"] == 1 and stats["misses"] == 1
+    assert stats["quarantined"] == 0
+    assert not (tmp_path / "store" / "quarantine").exists()
+    assert cache.get_campaign(key) is not None  # entry survived untouched
+
+
+def test_os_error_write_abandons_store_cleanly(tmp_path):
+    from repro.apps.registry import get_factory
+    from repro.harness.cache import ArtifactCache, campaign_key
+    from repro.nvct.campaign import CampaignConfig, run_campaign
+
+    factory = get_factory("EP")
+    cfg = CampaignConfig(n_tests=3, seed=6)
+    result = run_campaign(factory, cfg)
+    cache = ArtifactCache(tmp_path / "store")
+    chaos.enable(1, 1.0, kinds=["os_error"])
+    cache.put_campaign(campaign_key(factory, cfg), result)
+    chaos.disable()
+    assert cache.stats()["store_errors"] == 1
+    assert not list((tmp_path / "store").rglob("*.tmp"))  # temp unlinked
+    assert not list((tmp_path / "store").rglob("*.json"))  # nothing published

@@ -223,4 +223,8 @@ def test_bench_json_on_disk_is_pretty_and_newline_terminated(tmp_path):
     path = write_bench(tmp_path / "bench.json", [rec("x", 1.0)])
     text = path.read_text(encoding="utf-8")
     assert text.endswith("\n") and not text.endswith("\n\n")
-    assert json.loads(text) == [rec("x", 1.0)]
+    # still a plain JSON document: the records live under "payload",
+    # beside the integrity header external tools can ignore
+    doc = json.loads(text)
+    assert doc["payload"] == [rec("x", 1.0)]
+    assert "payload_crc32" in doc["__repro_store__"]

@@ -203,3 +203,90 @@ def test_analyze_update_baseline_then_clean(capsys, tmp_path):
     )
     assert code == 0
     assert "1 baselined" in out
+
+
+def test_exit_code_taxonomy_constants():
+    from repro import errors
+
+    assert (
+        errors.EXIT_OK,
+        errors.EXIT_FAILURE,
+        errors.EXIT_USAGE,
+        errors.EXIT_CORRUPT,
+        errors.EXIT_INTERRUPTED,
+    ) == (0, 1, 2, 3, 130)
+
+
+def test_stats_corrupt_bench_exits_3(tmp_path, capsys):
+    import json
+
+    from repro.obs.export import write_bench
+
+    path = tmp_path / "bench.json"
+    write_bench(path, [{"metric": "x", "value": 1.0, "unit": "tests/s",
+                        "scale": "t", "git_sha": "s"}])
+    doc = json.loads(path.read_text())
+    doc["payload"][0]["value"] = 9.9  # tampered: CRC is now stale
+    path.write_text(json.dumps(doc))
+    code = main(["stats", str(path)])
+    err = capsys.readouterr().err
+    assert code == 3
+    assert "corrupt" in err and "doctor fsck" in err
+
+
+def test_stats_unreadable_file_still_exits_2(tmp_path, capsys):
+    bad = tmp_path / "not-json.json"
+    bad.write_text("{nope")
+    code = main(["stats", str(bad)])
+    assert code == 2
+
+
+def test_doctor_preflight_ok(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE_QUOTA", raising=False)
+    code, out = run_cli(capsys, "doctor")
+    assert code == 0
+    assert "doctor: OK" in out
+    assert "python" in out and "numpy" in out and "cache-dir" in out
+
+
+def test_doctor_fsck_detects_then_repairs_truncated_entry(capsys, tmp_path, monkeypatch):
+    from repro.harness.store import atomic_write_bytes, pack_record
+
+    root = tmp_path / "cache"
+    entry = root / "campaign" / "aa" / "aabbcc.json"
+    atomic_write_bytes(entry, pack_record(b'{"fine": true}'))
+    entry.write_bytes(entry.read_bytes()[:-4])  # truncated payload
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+
+    code, out = run_cli(capsys, "doctor", "fsck")
+    assert code == 1 and "corrupt" in out
+
+    code, out = run_cli(capsys, "doctor", "fsck", "--repair")
+    assert code == 0 and "quarantined ->" in out
+    assert not entry.exists()
+    assert list((root / "quarantine").iterdir())  # moved, not deleted
+
+    code, out = run_cli(capsys, "doctor", "fsck")
+    assert code == 0 and "fsck: OK" in out
+
+
+def test_doctor_fsck_repairs_journal_tail(capsys, tmp_path):
+    from repro.nvct.journal import CampaignJournal
+
+    path = tmp_path / "j.jsonl"
+    CampaignJournal.create(path, {"kind": "header", "key": "k"}).close()
+    with open(path, "ab") as fh:
+        fh.write(b'{"kind": "trial", "ind')  # torn append
+    code, out = run_cli(capsys, "doctor", "fsck", "--journal", str(path))
+    assert code == 1 and "corrupt" in out
+    code, out = run_cli(capsys, "doctor", "fsck", "--journal", str(path),
+                        "--repair")
+    assert code == 0
+    assert (tmp_path / "quarantine").exists()
+
+
+def test_doctor_fsck_with_nothing_to_scan_is_usage_error(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    code = main(["doctor", "fsck"])
+    assert code == 2
