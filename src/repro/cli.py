@@ -141,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
         "FAILED record instead of hanging the campaign (serial engine, "
         "Unix only; default: unbounded)",
     )
+    c.add_argument(
+        "--no-golden",
+        action="store_true",
+        help="disable the golden-pass batched snapshot engine and take "
+        "full per-crash-point snapshots instead (the bit-identical legacy "
+        "oracle; also REPRO_GOLDEN=0)",
+    )
     _add_jobs_flag(c)
 
     p = sub.add_parser("plan", help="run the EasyCrash planning workflow")
@@ -336,6 +343,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 journal=getattr(args, "resume", None),
                 retry=retry,
                 trial_timeout=getattr(args, "trial_timeout", None),
+                golden=False if getattr(args, "no_golden", False) else None,
             )
         if getattr(args, "save", None):
             from repro.nvct.serialize import save_campaign

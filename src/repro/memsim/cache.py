@@ -55,10 +55,13 @@ class SetAssociativeCache:
         present, _ = self.lookup(np.asarray(blocks, dtype=np.int64))
         return present
 
+    def dirty_tags(self) -> np.ndarray:
+        """Unsorted block ids of dirty resident lines (cheap union input)."""
+        return self.tags[self.dirty & (self.tags >= 0)]
+
     def resident_dirty_blocks(self) -> np.ndarray:
         """Sorted block ids currently resident and dirty at this level."""
-        mask = self.dirty & (self.tags >= 0)
-        return np.sort(self.tags[mask])
+        return np.sort(self.dirty_tags())
 
     def resident_blocks(self) -> np.ndarray:
         return np.sort(self.tags[self.tags >= 0])

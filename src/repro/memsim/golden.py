@@ -1,0 +1,382 @@
+"""Golden-pass crash simulation: one execution, N crash images.
+
+The legacy campaign path materializes a full copy of every restart-relevant
+object's NVM image — plus a full-heap architectural-vs-NVM diff — at each
+of the N crash points of the single instrumented execution, so snapshot
+production costs ``O(N x heap_bytes)`` even though the execution itself
+runs only once.
+
+This module replaces that with a *golden pass*:
+
+* :class:`GoldenRecorder` rides the instrumented run.  It captures one
+  base NVM image per object at the start of the crash window, then logs
+  every NVM write-back as a ``(segment, byte_idx, values)`` delta, where a
+  *segment* is the span between consecutive crash points (persist-op /
+  access boundaries included).  Inconsistent rates are maintained
+  incrementally: stores and write-backs mark their blocks stale, and a
+  crash point only re-diffs the stale blocks — exact, because a block's
+  architectural and NVM bytes can only change through those two paths.
+* :class:`GoldenStore` replays the deltas after the run.  Per object the
+  deltas are concatenated into flat arrays with a prefix-reduction
+  (``searchsorted`` over segment ids -> cumulative element bounds), so
+  materializing crash image *k* is "patch everything up to bound[k+1]" —
+  a pair of vectorized fancy assignments per object, not a heap copy.
+  Ascending batches of crash points share one rolling buffer; consumers
+  either *borrow* read-only views (zero-copy, valid until the next image)
+  or request stable copies (parallel classification, which ships packed
+  payloads anyway).
+
+The reconstructed snapshots are bit-identical to the legacy path's — the
+same bytes land in NVM in the same event order, and the incremental rate
+bookkeeping counts exactly the bytes a full diff would — which is proven
+by the equivalence suite in ``tests/nvct/test_golden.py``.
+
+Telemetry: ``golden.deltas_recorded`` / ``golden.delta_bytes`` (recording,
+published by the runtime), ``golden.images_materialized`` /
+``golden.bytes_copied`` / ``golden.replay_ms`` (replay, published here).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+import numpy as np
+
+from repro.memsim.blocks import BLOCK_SIZE
+
+if TYPE_CHECKING:  # imported lazily at runtime (nvct depends on memsim)
+    from repro.nvct.heap import DataObject, PersistentHeap
+    from repro.nvct.runtime import Snapshot
+
+__all__ = ["GoldenRecorder", "GoldenStore", "GoldenSnapshotSource"]
+
+_ARANGE_B = np.arange(BLOCK_SIZE, dtype=np.int64)
+
+
+@dataclass
+class _ImageMeta:
+    """Crash-point metadata recorded in place of a full snapshot."""
+
+    counter: int
+    iteration: int
+    region: str
+    rates: dict[str, float]
+
+
+@dataclass
+class _Tracked:
+    """Per-object recording state (restart-relevant objects only)."""
+
+    obj: "DataObject"
+    base: np.ndarray  # NVM image at the start of the crash window
+    seg: list[int] = field(default_factory=list)  # segment id per delta event
+    idx: list[np.ndarray] = field(default_factory=list)  # byte indices per event
+    vals: list[np.ndarray] = field(default_factory=list)  # byte values per event
+    # Rate bookkeeping (candidates only; None for the loop iterator).
+    stale: np.ndarray | None = None  # per-block "re-diff me" mask
+    counts: np.ndarray | None = None  # per-block differing-byte counts
+    total: int = 0  # sum(counts) maintained incrementally
+
+
+class GoldenRecorder:
+    """Records per-segment NVM write-back deltas during one instrumented run.
+
+    Installed by the runtime as the heap's delta sink; ``mark_base`` is
+    called at the first ``main_loop_begin`` (right after the init-phase
+    ``sync_nvm``), ``take`` at every crash point, and ``build_store`` after
+    the run.  Recording stops by itself once all expected images are taken.
+    """
+
+    def __init__(self, heap: "PersistentHeap", n_images: int) -> None:
+        self.heap = heap
+        self.n_images = int(n_images)
+        self._tracked: dict[str, _Tracked] = {}
+        self._rate_order: list[_Tracked] = []
+        self._metas: list[_ImageMeta] = []
+        self._active = False
+        self.deltas_recorded = 0
+        self.delta_bytes = 0
+
+    @property
+    def n_taken(self) -> int:
+        return len(self._metas)
+
+    # -- recording hooks ------------------------------------------------------
+
+    def mark_base(self) -> None:
+        """Capture base NVM images at the start of the crash window.
+
+        Objects are enumerated here (not at construction) because the heap
+        is still being populated when the runtime attaches; by the first
+        ``main_loop_begin`` every allocation has happened and ``sync_nvm``
+        has made data == nvm, so all diff counts start at zero."""
+        self._tracked.clear()
+        self._rate_order = []
+        for o in self.heap._order:
+            if not (o.candidate or o.role == "iterator"):
+                continue
+            t = _Tracked(obj=o, base=o.nvm_bytes[: o.nbytes].copy())
+            if o.candidate and o.role == "data":
+                t.stale = np.zeros(o.nblocks, dtype=bool)
+                t.counts = np.zeros(o.nblocks, dtype=np.int64)
+                self._rate_order.append(t)
+            self._tracked[o.name] = t
+        self._metas = []
+        self._active = True
+
+    def on_writeback(
+        self,
+        obj: "DataObject",
+        rel_blocks: np.ndarray,
+        byte_idx: np.ndarray,
+        vals: np.ndarray,
+    ) -> None:
+        """Heap delta sink: ``vals`` were just persisted at ``byte_idx``."""
+        if not self._active:
+            return
+        t = self._tracked.get(obj.name)
+        if t is None:
+            return
+        # byte_idx / vals are freshly materialized by the heap and never
+        # mutated afterwards, so they are stored without copying.
+        t.seg.append(len(self._metas))
+        t.idx.append(byte_idx)
+        t.vals.append(vals)
+        self.deltas_recorded += 1
+        self.delta_bytes += int(byte_idx.size)
+        if t.stale is not None:
+            t.stale[rel_blocks] = True
+
+    def on_store(self, obj: "DataObject", byte_lo: int, byte_hi: int) -> None:
+        """Architectural store over an object-relative byte range."""
+        if not self._active:
+            return
+        t = self._tracked.get(obj.name)
+        if t is None or t.stale is None:
+            return
+        t.stale[byte_lo // BLOCK_SIZE : (byte_hi - 1) // BLOCK_SIZE + 1] = True
+
+    def on_store_blocks(self, obj: "DataObject", blocks: np.ndarray) -> None:
+        """Architectural scatter store over absolute block ids."""
+        if not self._active:
+            return
+        t = self._tracked.get(obj.name)
+        if t is None or t.stale is None:
+            return
+        t.stale[blocks - obj.base_block] = True
+
+    def take(self, counter: int, iteration: int, region: str) -> None:
+        """Record one crash point: metadata plus exact inconsistent rates.
+
+        Only blocks touched since the previous crash point are re-diffed;
+        untouched blocks keep their cached counts, so the rates equal a
+        full architectural-vs-NVM diff bit for bit at a fraction of the
+        cost."""
+        rates: dict[str, float] = {}
+        for t in self._rate_order:
+            o = t.obj
+            assert t.stale is not None and t.counts is not None
+            sb = np.nonzero(t.stale)[0]
+            if sb.size:
+                old = int(t.counts[sb].sum())
+                self._recount(t, sb)
+                t.total += int(t.counts[sb].sum()) - old
+                t.stale[sb] = False
+            rates[o.name] = t.total / o.nbytes if o.nbytes else 0.0
+        self._metas.append(_ImageMeta(counter, iteration, region, rates))
+        if len(self._metas) >= self.n_images:
+            self._active = False  # past the last crash point: stop recording
+
+    @staticmethod
+    def _recount(t: _Tracked, sb: np.ndarray) -> None:
+        o = t.obj
+        nb = o.nbytes
+        assert t.counts is not None
+        full = sb[(sb + 1) * BLOCK_SIZE <= nb]
+        if full.size:
+            byte_idx = (full[:, None] * BLOCK_SIZE + _ARANGE_B).ravel()
+            neq = o.data_bytes[byte_idx] != o.nvm_bytes[byte_idx]
+            t.counts[full] = neq.reshape(-1, BLOCK_SIZE).sum(axis=1)
+        for b in sb[(sb + 1) * BLOCK_SIZE > nb]:  # the padded tail block
+            lo = int(b) * BLOCK_SIZE
+            t.counts[b] = int(np.count_nonzero(o.data_bytes[lo:nb] != o.nvm_bytes[lo:nb]))
+
+    # -- store construction ---------------------------------------------------
+
+    def build_store(self) -> "GoldenStore":
+        """Freeze the log into a replayable :class:`GoldenStore`.
+
+        Per object, event deltas are concatenated into flat index/value
+        arrays and the per-image element bounds are derived by a single
+        ``searchsorted`` over the (non-decreasing) segment ids — the
+        prefix-reduction that lets replay jump between crash points."""
+        if self.n_images and not self._tracked:
+            raise RuntimeError("golden recorder never saw main_loop_begin")
+        n = len(self._metas)
+        base: dict[str, np.ndarray] = {}
+        idx: dict[str, np.ndarray] = {}
+        vals: dict[str, np.ndarray] = {}
+        bounds: dict[str, np.ndarray] = {}
+        for name, t in self._tracked.items():
+            base[name] = t.base
+            if t.seg:
+                sizes = np.fromiter((a.size for a in t.idx), dtype=np.int64, count=len(t.idx))
+                offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(sizes)])
+                ev_seg = np.asarray(t.seg, dtype=np.int64)
+                # bounds[j] = elements persisted before image j fired.
+                ev_bound = np.searchsorted(ev_seg, np.arange(n + 1, dtype=np.int64), side="left")
+                idx[name] = np.concatenate(t.idx)
+                vals[name] = np.concatenate(t.vals)
+                bounds[name] = offsets[ev_bound]
+            else:
+                idx[name] = np.empty(0, dtype=np.int64)
+                vals[name] = np.empty(0, dtype=np.uint8)
+                bounds[name] = np.zeros(n + 1, dtype=np.int64)
+        return GoldenStore(metas=list(self._metas), base=base, idx=idx, vals=vals, bounds=bounds)
+
+
+class GoldenStore:
+    """Replayable delta store: reconstructs crash-time NVM images on demand."""
+
+    def __init__(
+        self,
+        metas: list[_ImageMeta],
+        base: dict[str, np.ndarray],
+        idx: dict[str, np.ndarray],
+        vals: dict[str, np.ndarray],
+        bounds: dict[str, np.ndarray],
+    ) -> None:
+        self._metas = metas
+        self._base = base
+        self._idx = idx
+        self._vals = vals
+        self._bounds = bounds
+        self._names = list(base)
+        self.images_materialized = 0
+        self.bytes_copied = 0
+        self.replay_ms = 0.0
+
+    @property
+    def n_images(self) -> int:
+        return len(self._metas)
+
+    def counters(self) -> list[int]:
+        """Access-counter value of every recorded crash point (in order)."""
+        return [m.counter for m in self._metas]
+
+    def snapshots(
+        self, indices: Iterable[int] | None = None, copy: bool = False
+    ) -> Iterator["Snapshot"]:
+        """Yield :class:`~repro.nvct.runtime.Snapshot` objects for the given
+        strictly-ascending crash-point ``indices`` (default: all).
+
+        One rolling buffer per object is patched forward through the delta
+        arrays; skipped crash points cost only their deltas.  With
+        ``copy=False`` the yielded ``nvm_state`` arrays are read-only
+        *borrowed views* that are invalidated by the next iteration — the
+        zero-copy contract for in-process, one-at-a-time consumption.
+        ``copy=True`` yields stable read-only copies (counted in
+        ``golden.bytes_copied``) for consumers that retain or ship them.
+        """
+        from repro.nvct.runtime import Snapshot
+
+        idx_list = list(range(self.n_images)) if indices is None else [int(i) for i in indices]
+        yielded = 0
+        copied = 0
+        spent = 0.0
+        cur: dict[str, np.ndarray] = {}
+        views: dict[str, np.ndarray] = {}
+        pos = dict.fromkeys(self._names, 0)
+        try:
+            t0 = time.perf_counter()
+            for name in self._names:
+                a = self._base[name].copy()
+                cur[name] = a
+                v = a[:]
+                v.flags.writeable = False
+                views[name] = v
+            spent += time.perf_counter() - t0
+            prev = -1
+            for k in idx_list:
+                if not prev < k < self.n_images:
+                    raise IndexError(
+                        f"snapshot indices must be strictly ascending and < {self.n_images}"
+                    )
+                t0 = time.perf_counter()
+                for name in self._names:
+                    hi = int(self._bounds[name][k + 1])
+                    lo = pos[name]
+                    if hi > lo:
+                        # Duplicate byte indices resolve last-write-wins
+                        # under NumPy fancy assignment — event order.
+                        cur[name][self._idx[name][lo:hi]] = self._vals[name][lo:hi]
+                        pos[name] = hi
+                m = self._metas[k]
+                if copy:
+                    state = {}
+                    for name in self._names:
+                        c = cur[name].copy()
+                        c.flags.writeable = False
+                        state[name] = c
+                        copied += c.nbytes
+                else:
+                    state = dict(views)
+                snap = Snapshot(
+                    index=k,
+                    counter=m.counter,
+                    iteration=m.iteration,
+                    region=m.region,
+                    nvm_state=state,
+                    rates=dict(m.rates),
+                    consistent_state=None,
+                )
+                spent += time.perf_counter() - t0
+                # Count before yielding: the image exists by now, and a
+                # consumer that stops pulling at the last item (zip) never
+                # resumes the generator past this yield.
+                yielded += 1
+                prev = k
+                yield snap
+        finally:
+            self.images_materialized += yielded
+            self.bytes_copied += copied
+            self.replay_ms += spent * 1000.0
+            from repro.obs import registry
+
+            if (reg := registry()) is not None:
+                reg.counter("golden.images_materialized", unit="images").inc(yielded)
+                if copied:
+                    reg.counter("golden.bytes_copied", unit="bytes").inc(copied)
+                reg.counter("golden.replay_ms", unit="ms").inc(spent * 1000.0)
+
+
+class GoldenSnapshotSource:
+    """Adapter feeding a :class:`GoldenStore` to the parallel engine.
+
+    Exposes the ``len`` / ``get(lo, hi)`` snapshot-source protocol of
+    :mod:`repro.nvct.parallel` over an index subset.  Sequential ranges
+    advance one shared replay generator; an out-of-order request (the
+    serial-fallback path re-reading an already-packed chunk) restarts a
+    fresh replay from the base images, so every range is pristine no
+    matter what happened to previously shipped payloads."""
+
+    def __init__(self, store: GoldenStore, indices: Iterable[int]) -> None:
+        self._store = store
+        self._indices = [int(i) for i in indices]
+        self._gen: Iterator["Snapshot"] | None = None
+        self._pos = 0
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def get(self, lo: int, hi: int) -> list["Snapshot"]:
+        if hi <= lo:
+            return []
+        if self._gen is None or lo != self._pos:
+            self._gen = self._store.snapshots(self._indices[lo:], copy=True)
+            self._pos = lo
+        out = [next(self._gen) for _ in range(hi - lo)]
+        self._pos = hi
+        return out

@@ -75,6 +75,10 @@ class MemoryStats:
     nvm_writes_from_drain: int = 0
     nvm_writes_from_nt: int = 0  # non-temporal (cache-bypassing) stores
     nvm_fills: int = 0
+    # Write-back *events* (sink invocations): the granularity at which the
+    # golden-pass recorder logs deltas, so events x mean-blocks-per-event
+    # bounds the replay log size.
+    nvm_writeback_events: int = 0
     per_level: dict[str, CacheStats] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, object]:
@@ -85,6 +89,7 @@ class MemoryStats:
             "nvm_writes_from_drain": self.nvm_writes_from_drain,
             "nvm_writes_from_nt": self.nvm_writes_from_nt,
             "nvm_fills": self.nvm_fills,
+            "nvm_writeback_events": self.nvm_writeback_events,
         }
         for name, cs in self.per_level.items():
             d[name] = cs.as_dict()
@@ -104,5 +109,8 @@ class MemoryStats:
         )
         reg.counter(f"{prefix}.nvm_writes_from_nt", unit="blocks").inc(self.nvm_writes_from_nt)
         reg.counter(f"{prefix}.nvm_fills", unit="blocks").inc(self.nvm_fills)
+        reg.counter(f"{prefix}.nvm_writeback_events", unit="events").inc(
+            self.nvm_writeback_events
+        )
         for name, cs in self.per_level.items():
             cs.publish(reg, f"{prefix}.{name}")

@@ -17,12 +17,22 @@ of the NVM image are taken at all (sorted) crash points, then each
 snapshot is restarted in fast plain mode.  This is statistically identical
 to independent crashes under the uniform crash distribution and makes
 thousand-test campaigns tractable.
+
+By default the snapshots themselves come from the *golden pass*
+(:mod:`repro.memsim.golden`): the single instrumented run records NVM
+write-back deltas per crash-point segment, and all N crash images are
+reconstructed afterwards by vectorized delta replay — ``O(heap +
+writeback_traffic)`` instead of the legacy ``O(N x heap)`` copy-and-diff
+per point.  The legacy path (``REPRO_GOLDEN=0`` / ``--no-golden`` /
+``run_campaign(..., golden=False)``) is retained as the bit-identical
+oracle and still serves verified-mode and multi-core campaigns.
 """
 
 from __future__ import annotations
 
 import enum
 import math
+import os
 from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING
@@ -69,7 +79,13 @@ class CrashTestRecord:
     """Outcome of one crash test.
 
     ``error`` is empty except for quarantined (``FAILED``) trials, where
-    it carries the harness exception that poisoned the trial.
+    it carries the harness exception that poisoned the trial.  ``weight``
+    is the number of sampled crash points this record stands for: crash
+    points are deduplicated before the trial fan-out (re-measuring the
+    same point re-derives the identical deterministic record), so a
+    collapsed duplicate becomes weight on the single trial instead of a
+    burned re-execution.  Uniform sampling is without replacement and
+    always yields weight 1; skewed (beta) distributions may collapse.
     """
 
     counter: int
@@ -78,6 +94,7 @@ class CrashTestRecord:
     rates: dict[str, float]
     response: Response
     extra_iterations: int = 0
+    weight: int = 1
     error: str = ""
 
 
@@ -128,39 +145,52 @@ class CampaignResult:
     golden_iterations: int
 
     # -- headline metrics ---------------------------------------------------
+    #
+    # All aggregates are weight-aware: a record of weight w counts as w
+    # sampled crash points (duplicates collapsed before the fan-out).  The
+    # integer-sum formulations below are bit-identical to the historical
+    # unweighted ``np.mean`` versions whenever every weight is 1.
 
     @property
     def n_tests(self) -> int:
-        return len(self.records)
+        """Number of sampled crash points (collapsed duplicates included)."""
+        return int(sum(r.weight for r in self.records))
 
     def recomputability(self) -> float:
         """Fraction of tests with response S1 (the paper's definition)."""
-        if not self.records:
+        total = sum(r.weight for r in self.records)
+        if not total:
             return float("nan")
-        return sum(r.response is Response.S1 for r in self.records) / len(self.records)
+        return sum(r.weight for r in self.records if r.response is Response.S1) / total
 
     def response_fractions(self) -> dict[Response, float]:
         out = {resp: 0.0 for resp in Response}
-        if not self.records:
+        total = sum(r.weight for r in self.records)
+        if not total:
             return out
         for r in self.records:
-            out[r.response] += 1.0
-        return {k: v / len(self.records) for k, v in out.items()}
+            out[r.response] += r.weight
+        return {k: v / total for k, v in out.items()}
 
     def mean_extra_iterations(self) -> float:
         """Average extra iterations among S2 tests (Table 1 restart
         overhead); NaN when no test needed extra iterations."""
-        extras = [r.extra_iterations for r in self.records if r.response is Response.S2]
-        return float(np.mean(extras)) if extras else float("nan")
+        s2 = [r for r in self.records if r.response is Response.S2]
+        if not s2:
+            return float("nan")
+        return float(sum(r.extra_iterations * r.weight for r in s2) / sum(r.weight for r in s2))
 
     # -- per-region views -----------------------------------------------------
 
     def per_region_recomputability(self) -> dict[str, float]:
         """c_k: S1 rate among tests whose crash fell in region k."""
-        by: dict[str, list[bool]] = {}
+        hits: dict[str, int] = {}
+        totals: dict[str, int] = {}
         for r in self.records:
-            by.setdefault(r.region, []).append(r.response is Response.S1)
-        return {k: float(np.mean(v)) for k, v in by.items()}
+            totals[r.region] = totals.get(r.region, 0) + r.weight
+            if r.response is Response.S1:
+                hits[r.region] = hits.get(r.region, 0) + r.weight
+        return {k: hits.get(k, 0) / v for k, v in totals.items()}
 
     def region_time_shares(self) -> dict[str, float]:
         """a_k: region access-count share of the main-loop window (a proxy
@@ -188,6 +218,12 @@ class CampaignResult:
 
     def success_vector(self) -> np.ndarray:
         return np.array([1.0 if r.response is Response.S1 else 0.0 for r in self.records])
+
+    def weights_vector(self) -> np.ndarray:
+        """Per-record crash-point multiplicities, aligned with
+        :meth:`success_vector` / :meth:`object_rate_vectors` for weighted
+        selection models."""
+        return np.array([float(r.weight) for r in self.records])
 
 
 def _sample_crash_points(
@@ -220,6 +256,29 @@ def _sample_crash_points(
     else:
         raise ValueError(f"unknown crash distribution {distribution!r}")
     return np.sort(points + lo + 1)
+
+
+def _dedupe_crash_points(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse duplicate crash points into ``(unique_points, weights)``.
+
+    Classification is deterministic, so re-running a trial at the same
+    counter value can only reproduce the same record; duplicates would
+    burn a whole restart re-measuring a known outcome.  The campaign
+    classifies each distinct point once and carries the multiplicity as
+    :attr:`CrashTestRecord.weight` instead.  ``unique_points`` come back
+    sorted — the order the instrumented run snapshots them in."""
+    pts = np.asarray(points, dtype=np.int64)
+    return np.unique(pts, return_counts=True)
+
+
+def _golden_default() -> bool:
+    """Golden-pass batching is on unless ``REPRO_GOLDEN`` disables it."""
+    return os.environ.get("REPRO_GOLDEN", "").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+        "off",
+    )
 
 
 def _classify(
@@ -296,7 +355,10 @@ def _classify_trial(
 
 
 def _instrumented_run(
-    factory: AppFactory, cfg: CampaignConfig, crash_points: np.ndarray | None
+    factory: AppFactory,
+    cfg: CampaignConfig,
+    crash_points: np.ndarray | None,
+    golden: bool = False,
 ) -> tuple[Runtime, int]:
     if cfg.n_cores > 1:
         from repro.nvct.multicore_runtime import MulticoreRuntime
@@ -313,6 +375,7 @@ def _instrumented_run(
             plan=cfg.plan,
             crash_points=crash_points,
             capture_consistent=cfg.verified_mode,
+            golden=golden,
         )
     reg = registry()
     listener = None
@@ -361,6 +424,7 @@ def run_campaign(
     journal: "str | Path | None" = None,
     retry: "RetryPolicy | None" = None,
     trial_timeout: float | None = None,
+    golden: bool | None = None,
 ) -> CampaignResult:
     """Run a full crash-test campaign for one application and plan.
 
@@ -377,6 +441,16 @@ def run_campaign(
     parallel engine; ``trial_timeout`` quarantines any single trial that
     exceeds its deadline as a ``FAILED`` record (wall-clock dependent, so
     off by default).
+
+    ``golden`` selects the golden-pass batched snapshot engine
+    (:mod:`repro.memsim.golden`): the instrumented run records write-back
+    deltas and all N crash images are reconstructed by vectorized replay
+    instead of N full heap copies + diffs.  Default: on, unless
+    ``REPRO_GOLDEN=0`` (the CLI's ``--no-golden``) selects the legacy
+    serial snapshot path — retained as the bit-identical oracle.  It is
+    an execution strategy, not a campaign parameter: results, journal
+    headers and artifact-cache content keys are unchanged either way.
+    Verified mode and multi-core simulation always use the legacy path.
     """
     reg = registry()
     tracer = reg.tracer if reg is not None else None
@@ -394,11 +468,20 @@ def run_campaign(
         points = _sample_crash_points(
             window, cfg.n_tests, cfg.seed, factory.name, cfg.distribution
         )
+        points, weights = _dedupe_crash_points(points)
+        use_golden = (
+            (golden if golden is not None else _golden_default())
+            and cfg.n_cores == 1
+            and not cfg.verified_mode
+            and points.size > 0
+        )
         with maybe_span(tracer, "instrumented_run", app=factory.name):
-            rt, iterations = _instrumented_run(factory, cfg, points)
-        if len(rt.snapshots) != points.size:
+            rt, iterations = _instrumented_run(factory, cfg, points, golden=use_golden)
+        store = rt.golden_store() if use_golden else None
+        n_snaps = store.n_images if store is not None else len(rt.snapshots)
+        if n_snaps != points.size:
             raise RuntimeError(
-                f"{factory.name}: {points.size} crash points but {len(rt.snapshots)} snapshots"
+                f"{factory.name}: {points.size} crash points but {n_snaps} snapshots"
             )
 
         from repro.nvct.parallel import DEFAULT_CHUNK_TIMEOUT, classify_snapshots, resolve_jobs
@@ -413,7 +496,6 @@ def run_campaign(
             )
 
         n_jobs = resolve_jobs(jobs)
-        n_snaps = len(rt.snapshots)
         records: list[CrashTestRecord | None] = [None] * n_snaps
         for i, rec in completed.items():
             if 0 <= i < n_snaps:
@@ -430,9 +512,15 @@ def run_campaign(
                         if journal_obj is not None:
                             journal_obj.append(missing[local], rec)
 
+                    if store is not None:
+                        from repro.memsim.golden import GoldenSnapshotSource
+
+                        batch: "object" = GoldenSnapshotSource(store, missing)
+                    else:
+                        batch = [rt.snapshots[i] for i in missing]
                     fanned = classify_snapshots(
                         factory,
-                        [rt.snapshots[i] for i in missing],
+                        batch,
                         golden_result.iterations,
                         cfg,
                         jobs=n_jobs,
@@ -443,9 +531,16 @@ def run_campaign(
                     for i, rec in zip(missing, fanned):
                         records[i] = rec
                 else:
-                    for i in missing:
+                    # In-process streaming: golden snapshots are *borrowed*
+                    # zero-copy views, consumed one trial at a time.
+                    snaps = (
+                        store.snapshots(missing)
+                        if store is not None
+                        else (rt.snapshots[i] for i in missing)
+                    )
+                    for i, snap in zip(missing, snaps):
                         rec = _classify_trial(
-                            factory, rt.snapshots[i], golden_result.iterations,
+                            factory, snap, golden_result.iterations,
                             cfg, trial_timeout,
                         )
                         records[i] = rec
@@ -455,6 +550,10 @@ def run_campaign(
             if journal_obj is not None:
                 journal_obj.close()
         assert all(r is not None for r in records)
+        # Weights derive deterministically from the seed, so re-applying
+        # them on a journal resume reproduces the uninterrupted result.
+        for rec, w in zip(records, weights):
+            rec.weight = int(w)  # type: ignore[union-attr]
         if reg is not None:
             rt.publish_metrics(reg)
             reg.counter("campaign.runs", unit="campaigns").inc()

@@ -97,6 +97,8 @@ class PersistentHeap:
         # Optional per-block NVM write counters (endurance analysis).
         self._track_writes = track_write_counts
         self._write_counts = np.zeros(0, dtype=np.int64)
+        # Optional write-back observer (golden-pass delta recording).
+        self._delta_sink = None
 
     # -- allocation ---------------------------------------------------------
 
@@ -168,13 +170,25 @@ class PersistentHeap:
             np.add.at(self._write_counts, blocks, 1)
         idx = np.searchsorted(self._bases, blocks, side="right") - 1
         valid = (idx >= 0) & (blocks < self._ends[np.maximum(idx, 0)])
+        sink = self._delta_sink
         for oi in np.unique(idx[valid]):
             obj = self._order[int(oi)]
-            rel = (blocks[valid][idx[valid] == oi] - obj.base_block) * BLOCK_SIZE
-            byte_idx = (rel[:, None] + np.arange(BLOCK_SIZE, dtype=np.int64)).ravel()
+            rel_blocks = blocks[valid][idx[valid] == oi] - obj.base_block
+            byte_idx = (rel_blocks[:, None] * BLOCK_SIZE + np.arange(BLOCK_SIZE, dtype=np.int64)).ravel()
             # The final (padded) block may extend past nbytes.
             byte_idx = byte_idx[byte_idx < obj.nbytes]
-            obj.nvm_bytes[byte_idx] = obj.data_bytes[byte_idx]
+            vals = obj.data_bytes[byte_idx]
+            obj.nvm_bytes[byte_idx] = vals
+            if sink is not None:
+                sink(obj, rel_blocks, byte_idx, vals)
+
+    def set_delta_sink(self, sink) -> None:
+        """Install an observer called after every NVM write-back with
+        ``(obj, rel_blocks, byte_idx, values)`` — the object, its written
+        block ids (object-relative), and the exact persisted bytes.  The
+        golden-pass recorder (:mod:`repro.memsim.golden`) uses this to log
+        per-segment deltas instead of copying whole NVM images."""
+        self._delta_sink = sink
 
     # -- analysis / snapshots ---------------------------------------------------
 

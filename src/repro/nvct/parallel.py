@@ -39,6 +39,8 @@ from repro.obs import registry
 __all__ = [
     "resolve_jobs",
     "chunk_indices",
+    "SnapshotSource",
+    "as_snapshot_source",
     "classify_snapshots",
     "run_campaigns",
     "DEFAULT_CHUNK_TIMEOUT",
@@ -56,6 +58,39 @@ DEFAULT_CHUNK_TIMEOUT = 600.0
 
 #: Tasks a worker serves before being replaced (bounds leaked memory).
 MAX_TASKS_PER_CHILD = 32
+
+#: Snapshots materialized per batch when the parent classifies serially
+#: from a lazy source (bounds peak memory to a few images).
+_SERIAL_BATCH = 64
+
+
+class SnapshotSource:
+    """List-backed snapshot provider (the snapshot-source protocol).
+
+    The classification engine only ever asks for contiguous ascending
+    ranges via ``get(lo, hi)`` plus ``len()``.  Lazy providers — the
+    golden-pass :class:`~repro.memsim.golden.GoldenSnapshotSource`, which
+    materializes crash images from write-back deltas on demand — implement
+    the same two methods instead of holding N full images in memory.
+    """
+
+    def __init__(self, snapshots: Sequence["Snapshot"]) -> None:
+        self._snaps = list(snapshots)
+
+    def __len__(self) -> int:
+        return len(self._snaps)
+
+    def get(self, lo: int, hi: int) -> list["Snapshot"]:
+        return self._snaps[lo:hi]
+
+
+def as_snapshot_source(snapshots) -> "SnapshotSource":
+    """Wrap a plain sequence; pass lazy sources (``get``/``len``) through."""
+    if hasattr(snapshots, "get") and hasattr(snapshots, "__len__") and not isinstance(
+        snapshots, (list, tuple)
+    ):
+        return snapshots
+    return SnapshotSource(snapshots)
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -140,7 +175,7 @@ def _classify_chunk(task: tuple[int, list[dict]]):
 
 def classify_snapshots(
     factory: "AppFactory",
-    snapshots: Sequence["Snapshot"],
+    snapshots: "Sequence[Snapshot] | SnapshotSource",
     golden_iterations: int,
     cfg: "CampaignConfig",
     jobs: int | None = None,
@@ -149,6 +184,12 @@ def classify_snapshots(
     record_sink: "Callable[[int, CrashTestRecord], None] | None" = None,
 ) -> list["CrashTestRecord"]:
     """Classify every snapshot, fanning out over ``jobs`` processes.
+
+    ``snapshots`` is a plain sequence or any snapshot source
+    (``get``/``len`` protocol, see :class:`SnapshotSource`) — the golden
+    engine passes a lazy source that reconstructs crash images from
+    write-back deltas per requested range, both for chunk payload packing
+    and for the pristine serial fallback.
 
     Bit-identical to the serial ``[_classify(...) for snap in snapshots]``
     under any job count: classification is pure (plain-mode restart, no
@@ -175,19 +216,22 @@ def classify_snapshots(
     from repro.nvct.serialize import pack_snapshot
 
     jobs = resolve_jobs(jobs)
-    snapshots = list(snapshots)
+    source = as_snapshot_source(snapshots)
+    n_snaps = len(source)
 
     def classify_serial(lo: int, hi: int) -> list:
         out = []
-        for offset, snap in enumerate(snapshots[lo:hi]):
-            rec = _classify_trial(factory, snap, golden_iterations, cfg)
-            if record_sink is not None:
-                record_sink(lo + offset, rec)
-            out.append(rec)
+        for start in range(lo, hi, _SERIAL_BATCH):
+            stop = min(start + _SERIAL_BATCH, hi)
+            for offset, snap in enumerate(source.get(start, stop)):
+                rec = _classify_trial(factory, snap, golden_iterations, cfg)
+                if record_sink is not None:
+                    record_sink(start + offset, rec)
+                out.append(rec)
         return out
 
-    if jobs <= 1 or len(snapshots) < 2:
-        return classify_serial(0, len(snapshots))
+    if jobs <= 1 or n_snaps < 2:
+        return classify_serial(0, n_snaps)
 
     if retry is None:
         retry = RetryPolicy()
@@ -198,9 +242,9 @@ def classify_snapshots(
         chunk_timeout = min(chunk_timeout, WORKER_DEATH_TIMEOUT)
 
     factory.golden()  # warm before fork so workers inherit it
-    chunks = chunk_indices(len(snapshots), jobs)
+    chunks = chunk_indices(n_snaps, jobs)
     payloads = [
-        (ci, [pack_snapshot(s) for s in snapshots[lo:hi]])
+        (ci, [pack_snapshot(s) for s in source.get(lo, hi)])
         for ci, (lo, hi) in enumerate(chunks)
     ]
     done: dict[int, list] = {}

@@ -264,6 +264,7 @@ class Runtime(CountingRuntime):
         plan: PersistencePlan | None = None,
         crash_points: np.ndarray | list[int] | None = None,
         capture_consistent: bool = False,
+        golden: bool = False,
     ) -> None:
         super().__init__()
         self.hierarchy_config = hierarchy or HierarchyConfig.scaled_llc()
@@ -272,6 +273,12 @@ class Runtime(CountingRuntime):
         self.crash_points = pts
         self._cp_i = 0
         self.capture_consistent = capture_consistent
+        # Golden mode: record write-back deltas instead of materializing a
+        # full snapshot at every crash point (repro.memsim.golden).  The
+        # verified methodology needs crash-time *architectural* copies,
+        # which only full snapshots provide.
+        self.golden = bool(golden) and pts.size > 0 and not capture_consistent
+        self._golden_recorder = None
         self.snapshots: list[Snapshot] = []
         self.persist_events: list[PersistEvent] = []
         self.heap: PersistentHeap | None = None
@@ -283,6 +290,11 @@ class Runtime(CountingRuntime):
     def attach_heap(self, heap: PersistentHeap) -> None:
         self.heap = heap
         self.hierarchy = CacheHierarchy(self.hierarchy_config, writeback_sink=heap.writeback_blocks)
+        if self.golden:
+            from repro.memsim.golden import GoldenRecorder
+
+            self._golden_recorder = GoldenRecorder(heap, n_images=int(self.crash_points.size))
+            heap.set_delta_sink(self._golden_recorder.on_writeback)
 
     def _require(self) -> tuple[PersistentHeap, CacheHierarchy]:
         if self.heap is None or self.hierarchy is None:
@@ -313,6 +325,8 @@ class Runtime(CountingRuntime):
             for obj in heap.objects.values():
                 obj.sync_nvm()
             self.window_begin = self.counter
+            if self._golden_recorder is not None:
+                self._golden_recorder.mark_base()
         self._in_window = True
         self.current_region = MAIN_REGION
 
@@ -404,6 +418,12 @@ class Runtime(CountingRuntime):
 
     def _take_snapshot(self) -> None:
         heap, _ = self._require()
+        if self._golden_recorder is not None:
+            # Golden pass: metadata + incrementally maintained rates only;
+            # the NVM image is reconstructed later from write-back deltas.
+            self._golden_recorder.take(self.counter, self.iteration, self.current_region)
+            self._cp_i += 1
+            return
         snap = Snapshot(
             index=len(self.snapshots),
             counter=self.counter,
@@ -464,6 +484,8 @@ class Runtime(CountingRuntime):
         cp = self._next_cp()
         if cp is None or cp > self.counter + n:
             fast_assign()
+            if n and (rec := self._golden_recorder) is not None:
+                rec.on_store(obj, byte_lo, byte_hi)
             if n:
                 self._do_access(b0, b1, write=True)
             self.counter += n
@@ -475,6 +497,8 @@ class Runtime(CountingRuntime):
                 self.counter = cp  # clamp to the point for bookkeeping
                 self._take_snapshot()
             fast_assign()
+            if n and (rec := self._golden_recorder) is not None:
+                rec.on_store(obj, byte_lo, byte_hi)
             if n:
                 self._do_access(b0, b1, write=True)
             self.counter = end
@@ -495,6 +519,8 @@ class Runtime(CountingRuntime):
                 cut = min(byte_hi, (rb0 + k) * BLOCK_SIZE - base_byte)
                 blocks_done = k
             obj.data_bytes[pos:cut] = src[pos - byte_lo : cut - byte_lo]
+            if cut > pos and (rec := self._golden_recorder) is not None:
+                rec.on_store(obj, pos, cut)
             if blocks_done:
                 self._do_access(rb0, rb0 + blocks_done, write=True)
             self.counter += blocks_done
@@ -526,6 +552,8 @@ class Runtime(CountingRuntime):
             self._take_snapshot()
         if apply_op is not None:
             apply_op()
+            if write and n and (rec := self._golden_recorder) is not None:
+                rec.on_store_blocks(obj, blocks)
         if n:
             if nontemporal and write:
                 self._do_nt_store(blocks)
@@ -551,7 +579,19 @@ class Runtime(CountingRuntime):
             reg.counter("persist.dirty_written", unit="blocks").inc(ev.dirty_written)
             reg.counter("persist.clean_resident", unit="blocks").inc(ev.clean_resident)
             dirty_hist.observe(ev.dirty_written)
-        reg.counter("runtime.snapshots", unit="snapshots").inc(len(self.snapshots))
+        if (grec := self._golden_recorder) is not None:
+            reg.counter("golden.deltas_recorded", unit="events").inc(grec.deltas_recorded)
+            reg.counter("golden.delta_bytes", unit="bytes").inc(grec.delta_bytes)
+            reg.counter("runtime.snapshots", unit="snapshots").inc(grec.n_taken)
+        else:
+            reg.counter("runtime.snapshots", unit="snapshots").inc(len(self.snapshots))
+
+    def golden_store(self):
+        """Freeze the golden-pass delta log into a replayable
+        :class:`~repro.memsim.golden.GoldenStore` (after the run)."""
+        if self._golden_recorder is None:
+            raise RuntimeError("runtime was not created with golden=True")
+        return self._golden_recorder.build_store()
 
     def finalize(self) -> None:
         """Called after a completed run; remaining scheduled crash points

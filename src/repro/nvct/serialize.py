@@ -73,6 +73,7 @@ def _memory_to_dict(m: MemoryStats) -> dict:
         "nvm_writes_from_drain": m.nvm_writes_from_drain,
         "nvm_writes_from_nt": m.nvm_writes_from_nt,
         "nvm_fills": m.nvm_fills,
+        "nvm_writeback_events": m.nvm_writeback_events,
         "per_level": {name: cs.as_dict() for name, cs in m.per_level.items()},
     }
 
@@ -85,6 +86,7 @@ def _memory_from_dict(d: dict) -> MemoryStats:
         nvm_writes_from_drain=int(d.get("nvm_writes_from_drain", 0)),
         nvm_writes_from_nt=int(d.get("nvm_writes_from_nt", 0)),
         nvm_fills=int(d["nvm_fills"]),
+        nvm_writeback_events=int(d.get("nvm_writeback_events", 0)),
     )
     m.per_level = {name: CacheStats(**cs) for name, cs in d["per_level"].items()}
     return m
@@ -128,6 +130,10 @@ def record_to_dict(r: CrashTestRecord) -> dict:
         "response": r.response.name,
         "extra_iterations": r.extra_iterations,
     }
+    if r.weight != 1:
+        # Only collapsed duplicates carry a weight; the common case keeps
+        # the historical document shape byte for byte.
+        doc["weight"] = r.weight
     if r.error:
         doc["error"] = r.error
     return doc
@@ -141,6 +147,7 @@ def record_from_dict(r: dict) -> CrashTestRecord:
         rates={k: float(v) for k, v in r["rates"].items()},
         response=Response[r["response"]],
         extra_iterations=int(r["extra_iterations"]),
+        weight=int(r.get("weight", 1)),
         error=str(r.get("error", "")),
     )
 
@@ -215,8 +222,14 @@ def plan_from_dict(d: dict) -> PersistencePlan:
 
 def _pack_array(a: np.ndarray) -> dict:
     from repro.harness.store import crc32
+    from repro.obs import registry
 
     data = a.tobytes()
+    if (reg := registry()) is not None:
+        # Transport copies (IPC payloads are flattened by necessity); the
+        # zero-copy regression test asserts this stays 0 on the in-process
+        # golden path, where snapshots are consumed as borrowed views.
+        reg.counter("serialize.bytes_copied", unit="bytes").inc(len(data))
     # The CRC covers the *intended* bytes: it is computed before the
     # chaos hook below, so injected damage is caught by the checksum
     # exactly like real in-flight corruption would be.
@@ -243,11 +256,19 @@ def _unpack_array(d: dict) -> np.ndarray:
         raise SnapshotCorruptError(
             f"snapshot array failed its checksum ({len(data)} bytes, dtype {d['dtype']})"
         )
-    return np.frombuffer(data, dtype=d["dtype"]).reshape(d["shape"]).copy()
+    # Zero-copy: a read-only view over the payload buffer.  Restart only
+    # ever *reads* restored state (Application.restore copies it into the
+    # app's own arrays), so nothing downstream needs a writable array.
+    return np.frombuffer(data, dtype=d["dtype"]).reshape(d["shape"])
 
 
 def pack_snapshot(snap: Snapshot) -> dict:
-    """Flatten a snapshot into plain bytes/dicts for cheap IPC pickling."""
+    """Flatten a snapshot into plain bytes/dicts for cheap IPC pickling.
+
+    Accepts read-only array views (the golden engine's copy-on-write
+    snapshots) — packing only reads, and the one unavoidable copy
+    (``tobytes`` for the wire) is accounted in ``serialize.bytes_copied``.
+    """
     return {
         "index": snap.index,
         "counter": snap.counter,

@@ -1,0 +1,370 @@
+"""Golden-pass batched simulation: bit-identity against the legacy oracle.
+
+The golden pass (:mod:`repro.memsim.golden`) reconstructs every crash-time
+NVM image from the write-back delta log of one instrumented execution.
+The legacy per-point snapshot path (``golden=False``) is retained as the
+oracle; every test here asserts the two produce *bit-identical* records —
+same responses, same counters, same per-object inconsistent-rate floats —
+across applications with different store patterns, hierarchy depths,
+parallel fan-out and journal resume.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AppFactory, Application
+from repro.memsim.config import HierarchyConfig
+from repro.nvct.campaign import (
+    CampaignConfig,
+    CrashTestRecord,
+    CampaignResult,
+    Response,
+    _dedupe_crash_points,
+    _golden_default,
+    run_campaign,
+)
+from repro.nvct.plan import PersistencePlan
+from repro.nvct.serialize import pack_snapshot, record_from_dict, record_to_dict
+from repro.obs import metrics
+
+
+# -- applications with distinct store patterns --------------------------------
+
+
+class ContigApp(Application):
+    """Contiguous read-modify-write accumulator (store_range fast path)."""
+
+    NAME = "golden-contig"
+    REGIONS = ("R1", "R2")
+    DEFAULT_MAX_FACTOR = 1.0
+
+    def __init__(self, runtime=None, size: int = 512, nit: int = 6, **kw):
+        super().__init__(runtime, size=size, nit=nit, **kw)
+        self.size = size
+        self.nit = nit
+
+    def nominal_iterations(self):
+        return self.nit
+
+    def _allocate(self):
+        self.acc = self.ws.array("acc", (self.size,), candidate=True)
+        self.scratch = self.ws.array("scratch", (self.size,), candidate=False)
+
+    def _initialize(self):
+        self.acc.np[...] = 0.0
+        self.scratch.np[...] = 0.0
+
+    def _iterate(self, it):
+        with self.ws.region("R1"):
+            self.scratch.write(slice(None), float(it + 1))
+        with self.ws.region("R2"):
+            s = self.scratch.read().copy()
+            self.acc.update(slice(None), lambda a: np.add(a, s, out=a))
+        return False
+
+    def reference_outcome(self):
+        return {"sum": float(self.acc.np.sum())}
+
+    def verify(self):
+        if self.golden is None:
+            return True
+        return self.reference_outcome()["sum"] == self.golden["sum"]
+
+
+class ScatterApp(Application):
+    """Scatter/gather stores via ``write_at``/``read_at``, including a
+    non-temporal streaming store each iteration (access_scattered path)."""
+
+    NAME = "golden-scatter"
+    REGIONS = ("gather", "scatter")
+    DEFAULT_MAX_FACTOR = 1.0
+
+    def __init__(self, runtime=None, size: int = 512, nit: int = 6, **kw):
+        super().__init__(runtime, size=size, nit=nit, **kw)
+        self.size = size
+        self.nit = nit
+
+    def nominal_iterations(self):
+        return self.nit
+
+    def _allocate(self):
+        self.table = self.ws.array("table", (self.size,), candidate=True)
+        self.log = self.ws.array("log", (self.size,), candidate=True)
+
+    def _initialize(self):
+        self.table.np[...] = 1.0
+        self.log.np[...] = 0.0
+
+    def _iterate(self, it):
+        rng = np.random.default_rng(1234 + it)
+        idx = rng.permutation(self.size)[: self.size // 2]
+        with self.ws.region("gather"):
+            vals = self.table.read_at(idx)
+        with self.ws.region("scatter"):
+            self.table.write_at(idx, vals + 1.0)
+            # Streaming store of the audit log: bypasses the cache (MOVNT).
+            self.log.write_at(idx, vals, nontemporal=True)
+        return False
+
+    def reference_outcome(self):
+        return {
+            "sum": float(self.table.np.sum()),
+            "log": float(self.log.np.sum()),
+        }
+
+    def verify(self):
+        if self.golden is None:
+            return True
+        return self.reference_outcome() == self.golden
+
+
+class BulkApp(Application):
+    """Bulk multi-block contiguous stores: crash points frequently land
+    *inside* a store, exercising the split-store path, plus single-element
+    writes for the sub-block path."""
+
+    NAME = "golden-bulk"
+    REGIONS = ("bulk",)
+    DEFAULT_MAX_FACTOR = 1.0
+
+    def __init__(self, runtime=None, size: int = 2048, nit: int = 5, **kw):
+        super().__init__(runtime, size=size, nit=nit, **kw)
+        self.size = size
+        self.nit = nit
+
+    def nominal_iterations(self):
+        return self.nit
+
+    def _allocate(self):
+        self.field = self.ws.array("field", (self.size,), candidate=True)
+
+    def _initialize(self):
+        self.field.np[...] = 0.0
+
+    def _iterate(self, it):
+        with self.ws.region("bulk"):
+            base = self.field.read(slice(0, 8)).copy()
+            self.field.write(slice(None), float(it) + base[0])
+            self.field.write(int(it % self.size), -1.0)
+        return False
+
+    def reference_outcome(self):
+        return {"sum": float(self.field.np.sum())}
+
+    def verify(self):
+        if self.golden is None:
+            return True
+        return self.reference_outcome()["sum"] == self.golden["sum"]
+
+
+APPS = {
+    "contig": lambda: AppFactory(ContigApp),
+    "scatter": lambda: AppFactory(ScatterApp),
+    "bulk": lambda: AppFactory(BulkApp),
+}
+
+HIERARCHIES = {
+    "llc": None,  # default single-level scaled LLC
+    "three-level": HierarchyConfig.scaled_three_level(),
+}
+
+
+def _records_json(result: CampaignResult) -> list[str]:
+    return [json.dumps(record_to_dict(r), sort_keys=True) for r in result.records]
+
+
+def _assert_equivalent(fac: AppFactory, cfg: CampaignConfig, **kw) -> CampaignResult:
+    legacy = run_campaign(fac, cfg, golden=False, **kw)
+    golden = run_campaign(fac, cfg, golden=True, **kw)
+    assert _records_json(golden) == _records_json(legacy)
+    assert golden.records == legacy.records
+    return golden
+
+
+# -- the equivalence matrix ---------------------------------------------------
+
+
+@pytest.mark.parametrize("hier", sorted(HIERARCHIES))
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_golden_matches_legacy_bit_identically(app, hier):
+    cfg = CampaignConfig(n_tests=16, seed=21, hierarchy=HIERARCHIES[hier])
+    res = _assert_equivalent(APPS[app](), cfg)
+    assert res.n_tests == 16
+
+
+PLAN_OBJECTS = {"contig": ["acc"], "scatter": ["table", "log"], "bulk": ["field"]}
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_golden_matches_legacy_with_flush_plan(app):
+    cfg = CampaignConfig(
+        n_tests=12, seed=5,
+        plan=PersistencePlan.at_loop_end(PLAN_OBJECTS[app]),
+    )
+    _assert_equivalent(APPS[app](), cfg)
+
+
+def test_golden_matches_legacy_under_skewed_distribution():
+    cfg = CampaignConfig(n_tests=12, seed=9, distribution="early")
+    _assert_equivalent(APPS["contig"](), cfg)
+
+
+def test_parallel_golden_matches_serial_legacy():
+    cfg = CampaignConfig(n_tests=12, seed=13)
+    legacy = run_campaign(APPS["scatter"](), cfg, jobs=1, golden=False)
+    golden = run_campaign(APPS["scatter"](), cfg, jobs=2, golden=True)
+    assert _records_json(golden) == _records_json(legacy)
+
+
+def test_verified_mode_ignores_golden_request():
+    """Verified mode needs mid-run architectural copies, which the delta
+    log does not carry: asking for golden must transparently use legacy."""
+    cfg = CampaignConfig(n_tests=8, seed=3, verified_mode=True)
+    a = run_campaign(APPS["contig"](), cfg, golden=True)
+    b = run_campaign(APPS["contig"](), cfg, golden=False)
+    assert _records_json(a) == _records_json(b)
+
+
+def test_golden_env_default(monkeypatch):
+    monkeypatch.delenv("REPRO_GOLDEN", raising=False)
+    assert _golden_default() is True
+    for v in ("0", "false", "No", "OFF"):
+        monkeypatch.setenv("REPRO_GOLDEN", v)
+        assert _golden_default() is False
+    monkeypatch.setenv("REPRO_GOLDEN", "1")
+    assert _golden_default() is True
+
+
+# -- journal resume mid-batch -------------------------------------------------
+
+
+def test_golden_resume_from_journal_mid_batch(tmp_path):
+    fac = APPS["contig"]()
+    cfg = CampaignConfig(n_tests=10, seed=17)
+    baseline = run_campaign(fac, cfg, golden=False)
+
+    path = tmp_path / "j.jsonl"
+    run_campaign(fac, cfg, golden=True, journal=path)
+    # Simulate a crash mid-campaign: keep the header + 4 journaled trials.
+    lines = path.read_bytes().splitlines(keepends=True)
+    assert len(lines) == 1 + cfg.n_tests
+    path.write_bytes(b"".join(lines[:5]))
+
+    resumed = run_campaign(fac, cfg, golden=True, journal=path)
+    assert resumed.records == baseline.records
+    assert _records_json(resumed) == _records_json(baseline)
+
+
+# -- crash-point dedupe and record weights ------------------------------------
+
+
+def test_dedupe_crash_points():
+    pts, weights = _dedupe_crash_points(np.array([7, 5, 5, 9, 5, 7]))
+    assert pts.tolist() == [5, 7, 9]
+    assert weights.tolist() == [3, 2, 1]
+    pts, weights = _dedupe_crash_points(np.array([], dtype=np.int64))
+    assert pts.size == 0 and weights.size == 0
+
+
+def test_record_weight_round_trips_through_serialization():
+    rec = CrashTestRecord(10, 2, "R1", {"acc": 0.5}, Response.S2,
+                          extra_iterations=1, weight=3)
+    doc = record_to_dict(rec)
+    assert doc["weight"] == 3
+    assert record_from_dict(doc) == rec
+    # weight-1 records keep the historical document shape
+    plain = CrashTestRecord(10, 2, "R1", {"acc": 0.5}, Response.S1)
+    assert "weight" not in record_to_dict(plain)
+    assert record_from_dict(record_to_dict(plain)) == plain
+
+
+def test_weighted_aggregations():
+    records = [
+        CrashTestRecord(1, 0, "R1", {}, Response.S1, weight=3),
+        CrashTestRecord(2, 0, "R1", {}, Response.S2, extra_iterations=2, weight=1),
+        CrashTestRecord(3, 0, "R2", {}, Response.S2, extra_iterations=5, weight=2),
+        CrashTestRecord(4, 0, "R2", {}, Response.S3, weight=2),
+    ]
+    res = CampaignResult("x", PersistencePlan.none(), records,
+                         run_stats=None, golden_iterations=4)
+    assert res.n_tests == 8
+    assert res.recomputability() == 3 / 8
+    fr = res.response_fractions()
+    assert fr[Response.S1] == 3 / 8
+    assert fr[Response.S2] == 3 / 8
+    assert fr[Response.S3] == 2 / 8
+    assert res.mean_extra_iterations() == (2 * 1 + 5 * 2) / 3
+    per = res.per_region_recomputability()
+    assert per == {"R1": 3 / 4, "R2": 0.0}
+    assert res.weights_vector().tolist() == [3.0, 1.0, 2.0, 2.0]
+
+
+def test_uniform_sampling_yields_unit_weights():
+    res = run_campaign(APPS["contig"](), CampaignConfig(n_tests=10, seed=2))
+    assert all(r.weight == 1 for r in res.records)
+    assert res.n_tests == 10
+
+
+# -- zero-copy guarantees -----------------------------------------------------
+
+
+def test_serial_golden_path_copies_no_snapshot_bytes():
+    """The regression the COW satellite guards: a serial golden campaign
+    materializes every image as a borrowed view — no ``pack_snapshot``
+    full-array copies, no stable-copy materialization."""
+    metrics.reset()
+    with metrics.enabled() as reg:
+        res = run_campaign(APPS["contig"](), CampaignConfig(n_tests=10, seed=8),
+                           jobs=1, golden=True)
+        assert reg.counter("serialize.bytes_copied", unit="bytes").value == 0
+        assert reg.counter("golden.bytes_copied", unit="bytes").value == 0
+        assert reg.counter("golden.images_materialized", unit="images").value == 10
+        assert reg.counter("golden.deltas_recorded", unit="events").value > 0
+        assert reg.counter("golden.replay_ms", unit="ms").value >= 0
+    metrics.reset()
+    assert res.n_tests == 10
+
+
+def test_parallel_golden_path_packs_stable_copies():
+    metrics.reset()
+    with metrics.enabled() as reg:
+        run_campaign(APPS["contig"](), CampaignConfig(n_tests=10, seed=8),
+                     jobs=2, golden=True)
+        assert reg.counter("serialize.bytes_copied", unit="bytes").value > 0
+        assert reg.counter("golden.bytes_copied", unit="bytes").value > 0
+    metrics.reset()
+
+
+def test_unpacked_snapshot_arrays_are_zero_copy_views():
+    from repro.nvct.serialize import unpack_snapshot
+
+    from repro.nvct.runtime import Snapshot
+
+    snap = Snapshot(0, 5, 1, "R1", {"a": np.arange(8, dtype=np.float64)},
+                    {"a": 0.0})
+    back = unpack_snapshot(pack_snapshot(snap))
+    arr = back.nvm_state["a"]
+    assert arr.flags.writeable is False  # frombuffer view over the payload
+    np.testing.assert_array_equal(arr, np.arange(8, dtype=np.float64))
+
+
+def test_borrowed_golden_views_are_read_only():
+    fac = APPS["contig"]()
+    cfg = CampaignConfig(n_tests=6, seed=4)
+    from repro.nvct.campaign import _instrumented_run, _sample_crash_points
+    from repro.nvct.runtime import CountingRuntime
+
+    counting = CountingRuntime()
+    fac.make(runtime=counting).run()
+    points = _sample_crash_points(
+        (counting.window_begin or 0, counting.counter), cfg.n_tests, cfg.seed,
+        fac.name,
+    )
+    points, _ = _dedupe_crash_points(points)
+    rt, _ = _instrumented_run(fac, cfg, points, golden=True)
+    store = rt.golden_store()
+    for snap in store.snapshots(range(store.n_images)):
+        for arr in snap.nvm_state.values():
+            assert arr.flags.writeable is False

@@ -213,6 +213,51 @@ def _twin_note(stem: str) -> str | None:
     )
 
 
+def _golden_section() -> str:
+    """Before/after snapshot-production throughput from the bench trajectory."""
+    from repro.obs.export import load_bench
+
+    lines = ["## Golden-pass snapshot production\n"]
+    lines.append(
+        "One instrumented execution now feeds every crash test by replaying\n"
+        "recorded write-back deltas (`repro.memsim.golden`) instead of\n"
+        "full-copying and full-diffing the heap at each crash point.  The\n"
+        "numbers below are `benchmarks/test_campaign_throughput.py`'s\n"
+        "snapshot-production benchmarks (a 3 MB streaming candidate heap,\n"
+        ">= 100 crash points; `test_golden_snapshot_speedup` asserts >= 5x);\n"
+        "both paths produce bit-identical campaign records\n"
+        "(`tests/nvct/test_golden.py`).\n"
+    )
+    legacy = golden = None
+    for path in sorted(
+        ROOT.glob("BENCH_*.json"), key=lambda p: p.stat().st_mtime, reverse=True
+    ):
+        try:
+            records = load_bench(path)
+        except (OSError, ValueError):
+            continue
+        by_metric = {r["metric"]: r for r in records}
+        legacy = by_metric.get("benchmark.test_snapshot_production_legacy.mean_s")
+        golden = by_metric.get("benchmark.test_snapshot_production_golden.mean_s")
+        if legacy and golden:
+            lines.append(f"Current run: `{path.name}` (scale `{legacy['scale']}`).\n")
+            break
+    if not (legacy and golden):
+        lines.append(
+            "*(no snapshot-production records yet — run "
+            "`pytest benchmarks/test_campaign_throughput.py`)*\n"
+        )
+        return "\n".join(lines)
+    t_l, t_g = float(legacy["value"]), float(golden["value"])
+    lines.append(
+        "| snapshot production | mean wall time | speedup |\n"
+        "|---|---|---|\n"
+        f"| legacy (per-point copy + diff) | {t_l:.3f} s | 1.0x |\n"
+        f"| golden pass (delta replay) | {t_g:.3f} s | **{t_l / t_g:.1f}x** |\n"
+    )
+    return "\n".join(lines)
+
+
 def _perf_section() -> str:
     """Current-vs-baseline performance deltas from the bench trajectory."""
     from repro.obs.export import diff_bench, load_bench, render_bench, render_diff
@@ -304,6 +349,7 @@ def main() -> int:
             missing.append(stem)
             parts.append("*(artifact missing — rerun the benchmark suite)*\n")
     parts.append(_chaos_section())
+    parts.append(_golden_section())
     parts.append(_perf_section())
     TARGET.write_text("\n".join(parts), encoding="utf-8")
     print(f"wrote {TARGET} ({len(SECTIONS) - len(missing)}/{len(SECTIONS)} sections)")
