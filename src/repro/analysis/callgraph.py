@@ -1,0 +1,236 @@
+"""Interprocedural call-graph summaries for app classes.
+
+PR 2's static pass walked each method in isolation and only used
+``self.<method>()`` call *names* for reachability.  The ordering rules
+(persist-order, torn-commit, redundant-persist, unpersisted-at-exit)
+need more: the *sequence* of managed stores and explicit ``persist()``
+calls as the main loop would execute them, across helper methods.
+
+:func:`build_class_graph` summarizes every method of one app class into
+an ordered list of :class:`Op` records (managed stores, manual persists,
+self-calls, region-block exits), and :meth:`ClassGraph.linearize`
+expands the summary starting from ``_iterate`` by inlining self-calls in
+program order — a context-insensitive, cycle-safe linearization that is
+exact for the straight-line helper decomposition the app contract uses.
+Branches and loop bodies contribute their ops in source order (both
+sides of an ``if`` are kept), which over-approximates the set of
+executed orders; the ordering rules are written so this yields false
+negatives at worst, not false positives on the correct idioms.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Op",
+    "MethodSummary",
+    "ClassGraph",
+    "build_class_graph",
+    "managed_kinds",
+    "self_attr",
+]
+
+#: methods of a managed object that store into it
+MANAGED_WRITE_METHODS = frozenset({"write", "update", "write_at", "set"})
+
+#: hard cap on linearized ops (recursion / pathological inlining backstop)
+_MAX_OPS = 100_000
+
+
+def self_attr(node: ast.AST) -> str | None:
+    """``self.<attr>`` -> attr name, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def managed_kinds(methods: dict[str, ast.FunctionDef]) -> dict[str, str]:
+    """Managed attributes and how they were allocated.
+
+    Returns ``{attr: kind}`` for every ``self.<attr> = self.ws.array/
+    scalar/iterator(...)`` assignment anywhere in the class; ``kind`` is
+    the workspace factory name (``"array"``, ``"scalar"``,
+    ``"iterator"``).  Scalars matter to the ordering rules: a one-word
+    scalar is the only object whose persist is atomic on NVM, so it is
+    the only legal root of a multi-object commit.
+    """
+    kinds: dict[str, str] = {}
+    for fn in methods.values():
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+                continue
+            func = node.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in {"array", "scalar", "iterator"}
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "ws"
+            ):
+                for tgt in node.targets:
+                    attr = self_attr(tgt)
+                    if attr is not None:
+                        kinds[attr] = func.attr
+    return kinds
+
+
+@dataclass(frozen=True)
+class Op:
+    """One summarized operation, in source order within its method.
+
+    ``kind``:
+
+    * ``"store"`` — managed write (``self.<obj>.write/update/write_at/
+      set``); ``target`` is the object attribute name.
+    * ``"persist"`` — manual commit (``self.<obj>.persist()``).
+    * ``"call"`` — ``self.<method>(...)``; ``target`` is the method name.
+    * ``"region_end"`` — exit of a ``with ws.region(...)`` block (a
+      potential plan-driven flush boundary); ``target`` is the literal
+      region name when resolvable, else ``"?"``.
+    """
+
+    kind: str
+    target: str
+    method: str  # defining method (for finding keys)
+    lineno: int
+
+
+@dataclass
+class MethodSummary:
+    """Ordered op sequence of one method plus its self-call set."""
+
+    name: str
+    ops: list[Op] = field(default_factory=list)
+    calls: set[str] = field(default_factory=set)
+
+
+def _managed_base(node: ast.Attribute) -> str | None:
+    """Object attr of ``self.<obj>.<meth>`` / ``self.<obj>.arr.<meth>``."""
+    base = node.value
+    if isinstance(base, ast.Attribute) and base.attr == "arr":
+        base = base.value
+    return self_attr(base)
+
+
+class _Summarizer(ast.NodeVisitor):
+    """Collect :class:`Op` records for one method body, in source order."""
+
+    def __init__(self, method: str, managed: set[str]) -> None:
+        self.method = method
+        self.managed = managed
+        self.ops: list[Op] = []
+        self.calls: set[str] = set()
+
+    def _emit(self, kind: str, target: str, node: ast.AST) -> None:
+        self.ops.append(Op(kind, target, self.method, getattr(node, "lineno", 0)))
+
+    def visit_With(self, node: ast.With) -> None:
+        region: str | None = None
+        for item in node.items:
+            ctx = item.context_expr
+            if (
+                isinstance(ctx, ast.Call)
+                and isinstance(ctx.func, ast.Attribute)
+                and ctx.func.attr == "region"
+            ):
+                region = "?"
+                if ctx.args and isinstance(ctx.args[0], ast.Constant) and isinstance(
+                    ctx.args[0].value, str
+                ):
+                    region = ctx.args[0].value
+            self.visit(ctx)
+        for stmt in node.body:
+            self.visit(stmt)
+        if region is not None:
+            self._emit("region_end", region, node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            base = _managed_base(node.func)
+            if base is not None and base in self.managed:
+                if attr in MANAGED_WRITE_METHODS:
+                    self._emit("store", base, node)
+                elif attr == "persist":
+                    self._emit("persist", base, node)
+            method = self_attr(node.func)
+            if method is not None:
+                self.calls.add(method)
+                self._emit("call", method, node)
+        self.generic_visit(node)
+
+    # Keep nested function/class definitions out of the summary: their
+    # bodies do not execute when the enclosing method runs.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+
+@dataclass
+class ClassGraph:
+    """Call-graph summary of one app class."""
+
+    class_name: str
+    summaries: dict[str, MethodSummary]
+    managed: dict[str, str]  # attr -> "array" | "scalar" | "iterator"
+
+    def reachable(self, root: str = "_iterate") -> set[str]:
+        """Methods reachable from ``root`` through self-calls."""
+        if root not in self.summaries:
+            return set()
+        seen: set[str] = set()
+        work = [root]
+        while work:
+            name = work.pop()
+            if name in seen or name not in self.summaries:
+                continue
+            seen.add(name)
+            work.extend(self.summaries[name].calls)
+        return seen
+
+    def linearize(self, root: str = "_iterate") -> list[Op]:
+        """Program-order op sequence of one ``root`` invocation.
+
+        ``call`` ops whose target is a summarized method are replaced by
+        that method's linearized body (cycle-safe: a method already on
+        the inline stack contributes nothing, matching the base-case-
+        terminates reading of recursion); calls to unknown methods are
+        dropped.  The result contains only store/persist/region_end ops.
+        """
+        out: list[Op] = []
+
+        def expand(name: str, stack: tuple[str, ...]) -> None:
+            if name in stack or name not in self.summaries or len(out) > _MAX_OPS:
+                return
+            for op in self.summaries[name].ops:
+                if op.kind == "call":
+                    expand(op.target, stack + (name,))
+                else:
+                    out.append(op)
+
+        expand(root, ())
+        return out
+
+
+def build_class_graph(
+    class_name: str, methods: dict[str, ast.FunctionDef]
+) -> ClassGraph:
+    """Summarize one class (name + its method AST nodes) into a graph."""
+    managed = managed_kinds(methods)
+    summaries: dict[str, MethodSummary] = {}
+    for name, fn in methods.items():
+        s = _Summarizer(name, set(managed))
+        for stmt in fn.body:
+            s.visit(stmt)
+        summaries[name] = MethodSummary(name=name, ops=s.ops, calls=s.calls)
+    return ClassGraph(class_name=class_name, summaries=summaries, managed=managed)

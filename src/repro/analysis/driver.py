@@ -8,6 +8,10 @@
   iterations under a flush-everything-at-loop-end plan — the strictest
   schedule, so every commit-point invariant is exercised — and validates
   the resulting event stream;
+* the engine self-lint (:mod:`repro.analysis.lint_engine`) checks the
+  harness's own durability idioms — fsync discipline, rename publishing,
+  bare ``open(..., "w")`` — over ``repro/harness`` and the campaign
+  journal;
 * findings whose stable key appears in the baseline allowlist are
   suppressed (reported separately), everything else is active.
 
@@ -53,6 +57,7 @@ class AnalysisReport:
     suppressed: list[Finding] = field(default_factory=list)  # baselined
     files_analyzed: int = 0
     apps_traced: int = 0
+    engine_files_linted: int = 0
 
     @property
     def errors(self) -> list[Finding]:
@@ -65,6 +70,7 @@ class AnalysisReport:
         lines = [
             f"analysis: {self.files_analyzed} files, "
             f"{self.apps_traced} apps traced, "
+            f"{self.engine_files_linted} engine files linted, "
             f"{len(self.findings)} active finding(s), "
             f"{len(self.suppressed)} baselined"
         ]
@@ -95,23 +101,43 @@ def analyze(
     paths: Iterable[Path | str] | None = None,
     apps: Sequence[str] | None = None,
     dynamic: bool = True,
+    engine_lint: bool = True,
     baseline: Baseline | Path | str | None = DEFAULT_BASELINE_PATH,
 ) -> AnalysisReport:
     """Run the full analyzer.
 
     ``paths`` defaults to the ``repro.apps`` sources; ``apps`` defaults
-    to the whole registry (dynamic pass); ``baseline`` may be a loaded
+    to the whole registry (dynamic pass) and is validated against it —
+    an unknown name raises :class:`~repro.errors.UsageError` (CLI exit
+    2) instead of a stack trace; ``baseline`` may be a loaded
     :class:`Baseline`, a path, or ``None`` for no allowlist.
     """
-    from repro.apps.registry import APP_NAMES
+    from repro.apps.registry import APP_NAMES, get_factory
+    from repro.errors import UsageError
+
+    names = list(apps) if apps is not None else list(APP_NAMES)
+    for name in names:
+        try:
+            get_factory(name)
+        except KeyError:
+            raise UsageError(
+                f"unknown application {name!r} — see `repro list-apps`"
+            ) from None
 
     file_list = list(paths) if paths is not None else default_app_paths()
     findings = analyze_paths(file_list)
     apps_traced = 0
     if dynamic:
-        for name in apps if apps is not None else APP_NAMES:
+        for name in names:
             findings.extend(_trace_app(name))
             apps_traced += 1
+    engine_files = 0
+    if engine_lint:
+        from repro.analysis.lint_engine import default_engine_targets, lint_paths
+
+        targets = default_engine_targets()
+        findings.extend(lint_paths(targets))
+        engine_files = len(targets)
     if not isinstance(baseline, Baseline):
         baseline = Baseline.load(baseline)
     active, suppressed = baseline.split(findings)
@@ -120,4 +146,5 @@ def analyze(
         suppressed=suppressed,
         files_analyzed=len(file_list),
         apps_traced=apps_traced,
+        engine_files_linted=engine_files,
     )

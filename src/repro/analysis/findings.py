@@ -54,6 +54,21 @@ RULES: dict[str, tuple[str, str]] = {
         "numpy array allocated as application state without registering "
         "it with the PersistentHeap",
     ),
+    "torn-commit": (
+        "static",
+        "multi-object commit group with no single atomic root: the final "
+        "persist of the group is not a one-word scalar marker",
+    ),
+    "unpersisted-at-exit": (
+        "static",
+        "object stored but never persisted before the iteration ends, in "
+        "a class that commits durability manually",
+    ),
+    "redundant-persist": (
+        "static",
+        "object re-persisted with no store since its previous persist: "
+        "flush latency with no durability gained",
+    ),
     "dirty-at-commit": (
         "dynamic",
         "cache blocks of a plan-persisted object still dirty after its "
@@ -65,9 +80,25 @@ RULES: dict[str, tuple[str, str]] = {
         "its previous flush (never-dirtied blocks)",
     ),
     "persist-order": (
-        "dynamic",
-        "persist events disagree with the plan's region/iteration "
-        "schedule (missing, extra, or misplaced flushes)",
+        "static+dynamic",
+        "static: scalar commit marker persisted while guarded data still "
+        "has unpersisted stores; dynamic: persist events disagree with "
+        "the plan's region/iteration schedule",
+    ),
+    "write-without-fsync": (
+        "engine-lint",
+        "durable artifact written through a handle that never reaches an "
+        "os.fsync: a crash can lose or tear the write",
+    ),
+    "rename-without-dir-fsync": (
+        "engine-lint",
+        "os.replace/os.rename publish without fsyncing the parent "
+        "directory: the rename itself may not survive a crash",
+    ),
+    "bare-open-w": (
+        "engine-lint",
+        'bare open(..., "w") on a durable artifact: use the atomic '
+        "writer (temp file + fsync + rename) instead",
     ),
 }
 

@@ -1,0 +1,368 @@
+"""Durability-idiom lint over the engine's *own* persistence code.
+
+The crash-test harness promises that its artifacts — journals, cache
+entries, quarantined tails — survive the very failures it injects into
+applications.  That promise rests on a small set of idioms (write →
+``flush`` → ``os.fsync``; publish via temp file + ``os.replace`` +
+parent-directory fsync), and nothing previously checked that the engine
+actually follows them.  This pass turns the analyzer on the engine:
+
+* ``write-without-fsync`` (error) — a file handle opened for writing (or
+  truncated) inside a function that never routes that handle to an
+  ``os.fsync``.  A handle that *escapes* (stored on an attribute such as
+  ``self._fh``) is excused when its class fsyncs somewhere — the
+  journal's open-then-``_write_line`` split is the sanctioned shape.
+* ``rename-without-dir-fsync`` (warning) — ``os.replace`` /
+  ``os.rename`` / ``shutil.move`` / one-argument ``.replace(...)`` with
+  no reachable directory fsync (a call whose name contains
+  ``fsync_dir``): the rename itself may not survive a crash.
+* ``bare-open-w`` (warning) — a literal ``open(..., "w")`` /  ``"wt"``:
+  truncate-then-write tears on crash; durable text goes through the
+  atomic writer (:func:`repro.harness.store.atomic_write_bytes`).
+
+The checks are per-function summaries joined by an intra-module call
+graph (bare-name calls and ``self.``/``cls.`` method calls), so helpers
+like ``_fsync_dir`` and ``_write_line`` give closure credit to their
+callers.  Findings reuse the analyzer's line-number-free keys
+(``rule:file:function:symbol``) and the inline
+``# analysis: allow(<rule>)`` suppression syntax.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.static_pass import _allowed_rules
+
+__all__ = ["lint_paths", "lint_source", "default_engine_targets"]
+
+#: text modes whose bare use always warrants the atomic writer instead
+_BARE_TEXT_MODES = {"w", "wt"}
+
+
+def default_engine_targets(src_root: str | Path | None = None) -> list[Path]:
+    """The engine surfaces whose durability claims the lint guards.
+
+    With no argument the targets are resolved from the installed
+    ``repro`` package itself — the lint always checks the code that is
+    actually running.
+    """
+    if src_root is None:
+        import repro
+
+        root = Path(repro.__file__).parent.parent
+    else:
+        root = Path(src_root)
+    targets = sorted((root / "repro" / "harness").glob("*.py"))
+    targets.append(root / "repro" / "nvct" / "journal.py")
+    return [p for p in targets if p.exists()]
+
+
+def _is_write_mode(mode: str) -> bool:
+    return any(ch in mode for ch in "wax+")
+
+
+def _call_name(func: ast.AST) -> str | None:
+    """Dotted name of a call target: ``os.fsync``, ``open``, ``self.close``."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+@dataclass
+class _HandleOp:
+    """One write-mode ``open``/``fdopen`` or ``.truncate`` in a function."""
+
+    lineno: int
+    symbol: str  # the mode string, or "truncate"
+    handle: str | None  # local variable the handle is bound to, if any
+    escapes: bool  # stored on an attribute (self._fh = open(...)) or returned
+
+
+@dataclass
+class _FnSummary:
+    qualname: str
+    class_name: str | None
+    lineno: int
+    writes: list[_HandleOp] = field(default_factory=list)
+    bare_text_opens: list[tuple[int, str]] = field(default_factory=list)
+    renames: list[tuple[int, str]] = field(default_factory=list)
+    fsync_args: list[set[str]] = field(default_factory=list)  # names fed to os.fsync
+    has_dir_fsync: bool = False
+    calls: list[str] = field(default_factory=list)
+    handle_passed_to: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def has_fsync(self) -> bool:
+        return bool(self.fsync_args)
+
+
+class _FnVisitor(ast.NodeVisitor):
+    """Summarize one function body (nested defs merge into the parent)."""
+
+    def __init__(self, summary: _FnSummary):
+        self.s = summary
+
+    # -- assignments: where do opened handles land? ---------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)  # record the open() op first, then bind it
+        self._bind(node.targets, node.value)
+
+    def visit_With(self, node: ast.With) -> None:
+        self.generic_visit(node)
+        for item in node.items:
+            if item.optional_vars is not None:
+                self._bind([item.optional_vars], item.context_expr)
+
+    def _bind(self, targets: list[ast.AST], value: ast.AST) -> None:
+        op = self._open_op(value)
+        if op is None:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                op.handle = target.id
+            elif isinstance(target, ast.Attribute):
+                op.escapes = True
+
+    def visit_Return(self, node: ast.Return) -> None:
+        self.generic_visit(node)
+        if node.value is not None:
+            op = self._open_op(node.value)
+            if op is not None:
+                op.escapes = True
+
+    # -- calls ----------------------------------------------------------------
+
+    def _open_op(self, node: ast.AST) -> _HandleOp | None:
+        """The already-recorded op for an ``open``/``fdopen`` call node."""
+        if isinstance(node, ast.Call):
+            for op in self.s.writes:
+                if op.lineno == node.lineno and op.symbol != "truncate":
+                    return op
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node.func)
+        if name in ("open", "io.open", "os.fdopen"):
+            mode = self._mode_of(node)
+            if mode is not None and _is_write_mode(mode):
+                self.s.writes.append(_HandleOp(node.lineno, mode, None, False))
+                if mode in _BARE_TEXT_MODES and name != "os.fdopen":
+                    self.s.bare_text_opens.append((node.lineno, mode))
+        elif name in ("os.replace", "os.rename", "shutil.move"):
+            self.s.renames.append((node.lineno, name))
+        elif name == "os.fsync":
+            args: set[str] = set()
+            for arg in node.args:
+                args |= _names_in(arg)
+            self.s.fsync_args.append(args)
+        elif name is not None:
+            leaf = name.rsplit(".", 1)[-1]
+            if "fsync_dir" in leaf:
+                self.s.has_dir_fsync = True
+            elif leaf == "truncate" and isinstance(node.func, ast.Attribute):
+                base = node.func.value
+                handle = base.id if isinstance(base, ast.Name) else None
+                escapes = isinstance(base, ast.Attribute)
+                self.s.writes.append(
+                    _HandleOp(node.lineno, "truncate", handle, escapes)
+                )
+            elif leaf in ("replace", "rename") and len(node.args) == 1:
+                # one-argument .replace/.rename = pathlib-style, not str.replace
+                self.s.renames.append((node.lineno, f"Path.{leaf}"))
+            if isinstance(node.func, ast.Name):
+                self.s.calls.append(name)
+            elif isinstance(node.func, ast.Attribute) and isinstance(
+                node.func.value, ast.Name
+            ) and node.func.value.id in ("self", "cls"):
+                self.s.calls.append(node.func.attr)
+            for arg in node.args:
+                for var in _names_in(arg):
+                    self.s.handle_passed_to.setdefault(var, []).append(
+                        name.rsplit(".", 1)[-1] if "." in name else name
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _mode_of(node: ast.Call) -> str | None:
+        mode: ast.AST | None = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+
+
+def _collect_functions(tree: ast.Module) -> list[tuple[ast.FunctionDef, str | None]]:
+    out: list[tuple[ast.FunctionDef, str | None]] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append((node, None))
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out.append((sub, node.name))
+    return out
+
+
+def _summaries(tree: ast.Module) -> dict[str, _FnSummary]:
+    table: dict[str, _FnSummary] = {}
+    for fn, cls in _collect_functions(tree):
+        qual = f"{cls}.{fn.name}" if cls else fn.name
+        summary = _FnSummary(qual, cls, fn.lineno)
+        _FnVisitor(summary).generic_visit(fn)
+        table[qual] = summary
+    return table
+
+
+def _resolve(table: dict[str, _FnSummary], caller: _FnSummary, name: str) -> str | None:
+    """A callee name → its qualname, preferring same-class methods."""
+    leaf = name.rsplit(".", 1)[-1]
+    if caller.class_name is not None and f"{caller.class_name}.{leaf}" in table:
+        return f"{caller.class_name}.{leaf}"
+    if leaf in table:
+        return leaf
+    return None
+
+
+def _reachable(
+    table: dict[str, _FnSummary], start: str, fact: "callable"
+) -> bool:
+    """Does ``fact`` hold for ``start`` or any transitively-called local fn?"""
+    seen: set[str] = set()
+    stack = [start]
+    while stack:
+        qual = stack.pop()
+        if qual in seen:
+            continue
+        seen.add(qual)
+        s = table[qual]
+        if fact(s):
+            return True
+        for callee in s.calls:
+            resolved = _resolve(table, s, callee)
+            if resolved is not None:
+                stack.append(resolved)
+    return False
+
+
+def _class_fsyncs(table: dict[str, _FnSummary], cls: str | None) -> bool:
+    if cls is None:
+        return False
+    return any(
+        s.has_fsync for s in table.values() if s.class_name == cls
+    )
+
+
+def _handle_satisfied(
+    table: dict[str, _FnSummary], s: _FnSummary, op: _HandleOp
+) -> bool:
+    """Is this opened/truncated handle plausibly fsync'd before it matters?"""
+    if op.escapes:
+        # the handle outlives the function (self._fh = ...): the class owns
+        # the fsync discipline — require *someone* in the class to fsync
+        return _class_fsyncs(table, s.class_name) or _reachable(
+            table, s.qualname, lambda f: f.has_fsync
+        )
+    if op.handle is not None:
+        for args in s.fsync_args:
+            if op.handle in args:
+                return True
+        for callee in s.handle_passed_to.get(op.handle, ()):
+            resolved = _resolve(table, s, callee)
+            if resolved is not None and _reachable(
+                table, resolved, lambda f: f.has_fsync
+            ):
+                return True
+        return False
+    # anonymous handle (open() used inline): any local fsync gets credit
+    return s.has_fsync
+
+
+def lint_source(source: str, filename: str = "<string>") -> list[Finding]:
+    """Run the durability lint over one module's source."""
+    tree = ast.parse(source, filename=filename)
+    lines = source.splitlines()
+    table = _summaries(tree)
+    fname = Path(filename).name
+    findings: list[Finding] = []
+
+    def add(rule: str, sev: Severity, lineno: int, symbol: str, qual: str, msg: str) -> None:
+        if rule in _allowed_rules(lines, lineno):
+            return
+        findings.append(
+            Finding(
+                rule=rule,
+                severity=sev,
+                where=f"{filename}:{lineno}",
+                message=msg,
+                key=f"{rule}:{fname}:{qual}:{symbol}",
+            )
+        )
+
+    for s in table.values():
+        for op in s.writes:
+            if not _handle_satisfied(table, s, op):
+                what = (
+                    "file truncated"
+                    if op.symbol == "truncate"
+                    else f"file opened {op.symbol!r}"
+                )
+                add(
+                    "write-without-fsync",
+                    Severity.ERROR,
+                    op.lineno,
+                    op.symbol,
+                    s.qualname,
+                    f"{what} in {s.qualname} with no os.fsync on the handle: "
+                    "a crash can lose or tear the write",
+                )
+        if s.renames and not _reachable(table, s.qualname, lambda f: f.has_dir_fsync):
+            for lineno, symbol in s.renames:
+                add(
+                    "rename-without-dir-fsync",
+                    Severity.WARNING,
+                    lineno,
+                    symbol,
+                    s.qualname,
+                    f"{symbol} in {s.qualname} never fsyncs the parent "
+                    "directory: the rename may not survive a crash",
+                )
+        for lineno, mode in s.bare_text_opens:
+            add(
+                "bare-open-w",
+                Severity.WARNING,
+                lineno,
+                mode,
+                s.qualname,
+                f'bare open(..., "{mode}") in {s.qualname}: durable text '
+                "goes through atomic_write_bytes (temp file + fsync + rename)",
+            )
+    return findings
+
+
+def lint_paths(paths: Iterable[Path | str]) -> list[Finding]:
+    """Run the durability lint over engine source files."""
+    findings: list[Finding] = []
+    for path in paths:
+        path = Path(path)
+        findings.extend(lint_source(path.read_text(), filename=str(path)))
+    return findings

@@ -16,8 +16,11 @@ Commands
     The Sec. 7 system-efficiency model for given MTBF/checkpoint cost.
 ``analyze``
     Crash-consistency and instrumentation-escape analyzer over the
-    benchmark apps (static AST pass + dynamic trace pass); ``--strict``
-    is the CI gate.
+    benchmark apps (static AST pass + dynamic trace pass) plus the
+    engine durability self-lint; ``--strict`` is the CI gate,
+    ``--sarif`` exports SARIF 2.1.0, and ``--emit-plan`` runs the
+    trace-equivalence pass and writes a pruned crash plan for
+    ``campaign --crash-plan``.
 ``stats``
     Dump a machine-readable ``bench.json`` produced by ``campaign
     --stats`` or the benchmark session, or diff two of them
@@ -47,6 +50,7 @@ from repro.errors import (
     EXIT_USAGE,
     JournalError,
     SnapshotCorruptError,
+    UsageError,
 )
 
 __all__ = ["main", "build_parser"]
@@ -148,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
         "full per-crash-point snapshots instead (the bit-identical legacy "
         "oracle; also REPRO_GOLDEN=0)",
     )
+    c.add_argument(
+        "--crash-plan",
+        metavar="FILE",
+        default=None,
+        help="pruned crash plan from `repro analyze --emit-plan`: execute "
+        "one trial per NVM-image equivalence class (plus a purity tail) "
+        "and broadcast the results — bit-identical to the full campaign",
+    )
     _add_jobs_flag(c)
 
     p = sub.add_parser("plan", help="run the EasyCrash planning workflow")
@@ -197,6 +209,44 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument(
         "--update-baseline", action="store_true",
         help="write all current findings to the baseline file and exit",
+    )
+    an.add_argument(
+        "--no-self-lint", action="store_true",
+        help="skip the engine durability self-lint (harness + journal)",
+    )
+    an.add_argument(
+        "--sarif", metavar="FILE", default=None,
+        help="also write the report as SARIF 2.1.0 (active findings as "
+        "results, baselined ones with suppressions)",
+    )
+    an.add_argument(
+        "--emit-plan", metavar="FILE", default=None,
+        help="run the trace-equivalence pass for one app (requires "
+        "--apps APP) and write a pruned crash plan consumable by "
+        "`repro campaign --crash-plan`",
+    )
+    an.add_argument(
+        "--tests", type=int, default=200,
+        help="(--emit-plan) campaign size the plan covers (default 200)",
+    )
+    an.add_argument(
+        "--seed", type=int, default=0,
+        help="(--emit-plan) campaign seed the plan covers (default 0)",
+    )
+    an.add_argument(
+        "--distribution", choices=["uniform", "early", "late"],
+        default="uniform",
+        help="(--emit-plan) crash-time distribution of the campaign",
+    )
+    an.add_argument(
+        "--campaign-plan", choices=["none", "loop"], default="none",
+        help="(--emit-plan) persistence plan of the campaign: none or "
+        "flush candidates at loop end",
+    )
+    an.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="(--emit-plan) extra audited members per equivalence class "
+        "(default 1; 0 disables the purity audit)",
     )
 
     st = sub.add_parser(
@@ -324,10 +374,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             from repro.harness.resilience import RetryPolicy
 
             retry = RetryPolicy(max_retries=args.max_retries)
+        crash_plan = getattr(args, "crash_plan", None)
         if getattr(args, "until_stable", False):
             if getattr(args, "resume", None):
                 print("campaign: --resume is not supported with --until-stable "
                       "(round sizes grow adaptively)", file=sys.stderr)
+                return 2
+            if crash_plan:
+                print("campaign: --crash-plan is not supported with "
+                      "--until-stable (the plan covers a fixed campaign)",
+                      file=sys.stderr)
                 return 2
             from repro.nvct.adaptive import recomputability_interval, run_campaign_until_stable
 
@@ -344,7 +400,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 retry=retry,
                 trial_timeout=getattr(args, "trial_timeout", None),
                 golden=False if getattr(args, "no_golden", False) else None,
+                plan=crash_plan,
             )
+            if crash_plan and result.executed_trials is not None:
+                print(f"crash plan: executed {result.executed_trials} of "
+                      f"{result.n_tests} trials (equivalence-pruned)")
         if getattr(args, "save", None):
             from repro.nvct.serialize import save_campaign
 
@@ -500,6 +560,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             paths=args.paths or None,
             apps=args.apps,
             dynamic=not args.no_dynamic,
+            engine_lint=not args.no_self_lint,
             baseline=None,
         )
         baseline = Baseline(
@@ -513,13 +574,54 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         paths=args.paths or None,
         apps=args.apps,
         dynamic=not args.no_dynamic,
+        engine_lint=not args.no_self_lint,
         baseline=baseline_path,
     )
     print(report.render())
+    if args.sarif:
+        from repro.analysis.sarif import write_sarif
+
+        print(f"sarif report: {write_sarif(report, args.sarif)}")
+    if args.emit_plan:
+        _emit_crash_plan(args)
     if report.ok(strict=args.strict):
         print("analysis: OK" + (" (strict)" if args.strict else ""))
         return 0
     return 1
+
+
+def _emit_crash_plan(args: argparse.Namespace) -> None:
+    """The ``analyze --emit-plan`` leg: trace-equivalence pass for one app."""
+    from repro.analysis.equiv_pass import DEFAULT_TAIL, build_crash_plan
+    from repro.apps.registry import get_factory
+    from repro.harness.cache import ArtifactCache
+    from repro.nvct.campaign import CampaignConfig
+    from repro.nvct.plan import PersistencePlan
+
+    if not args.apps or len(args.apps) != 1:
+        raise UsageError(
+            "--emit-plan needs exactly one application: repeat with "
+            "`--apps APP` naming the campaign the plan is for"
+        )
+    factory = get_factory(args.apps[0])
+    if args.campaign_plan == "none":
+        plan = PersistencePlan.none()
+    else:
+        app = factory.make(None)
+        plan = PersistencePlan.at_loop_end([o.name for o in app.ws.heap.candidates()])
+    cfg = CampaignConfig(
+        n_tests=args.tests,
+        seed=args.seed,
+        plan=plan,
+        distribution=args.distribution,
+    )
+    tail = DEFAULT_TAIL if args.tail is None else args.tail
+    crash_plan = build_crash_plan(
+        factory, cfg, tail=tail, cache=ArtifactCache.from_env()
+    )
+    out = crash_plan.save(args.emit_plan)
+    print(crash_plan.summary())
+    print(f"crash plan written: {out}")
 
 
 def _cmd_advise(args: argparse.Namespace) -> int:
@@ -593,6 +695,9 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_CORRUPT
     except JournalError as exc:
         print(f"journal: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
 

@@ -36,6 +36,12 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
+class UsageError(ReproError):
+    """Raised for bad user input the CLI should report as exit code 2
+    (e.g. ``analyze --apps`` naming an application that is not in the
+    registry, or a crash plan that does not match the campaign)."""
+
+
 class ConfigError(ReproError):
     """Raised when a configuration value is invalid or inconsistent."""
 

@@ -369,6 +369,8 @@ def quarantine_file(path: str | Path, root: str | Path | None = None) -> Path | 
         shutil.move(str(path), str(target))
     except OSError:
         return None
+    _fsync_dir(target.parent)  # make the move itself durable …
+    _fsync_dir(path.parent)  # … and the disappearance from the source dir
     bump("store.quarantined", unit="records")
     return target
 
@@ -666,6 +668,8 @@ def repair_journal(path: str | Path) -> Path | None:
     target = quarantine_bytes(raw[valid:], path.parent, path.name + ".tail")
     with open(path, "r+b") as fh:
         fh.truncate(valid)
+        fh.flush()
+        os.fsync(fh.fileno())  # the repair itself must survive a crash
     return target
 
 

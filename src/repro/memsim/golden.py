@@ -266,6 +266,31 @@ class GoldenStore:
         """Access-counter value of every recorded crash point (in order)."""
         return [m.counter for m in self._metas]
 
+    def image_signatures(self) -> list[tuple[int, ...]]:
+        """Dirty-block signature of every crash image, in order.
+
+        The signature of image *k* is the per-object delta-array bound
+        vector ``(bounds[name][k+1] for name in sorted objects)``: two
+        crash points with equal signatures received exactly the same
+        write-back prefix on every restart-relevant object, so their
+        reconstructed NVM images — and therefore the deterministic
+        restart outcome — are bit-identical.  This is what the analyzer's
+        equivalence pass partitions the crash-point space by.  Bounds are
+        monotone per object, so equal signatures can only occur on
+        consecutive crash points.
+        """
+        names = sorted(self._names)
+        n = self.n_images
+        return [
+            tuple(int(self._bounds[name][k + 1]) for name in names)
+            for k in range(n)
+        ]
+
+    def image_meta(self, k: int) -> tuple[int, int, str, dict[str, float]]:
+        """``(counter, iteration, region, rates)`` of crash image ``k``."""
+        m = self._metas[k]
+        return m.counter, m.iteration, m.region, dict(m.rates)
+
     def snapshots(
         self, indices: Iterable[int] | None = None, copy: bool = False
     ) -> Iterator["Snapshot"]:

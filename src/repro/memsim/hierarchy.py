@@ -85,7 +85,13 @@ class CacheHierarchy:
                 dirty_any |= was_dirty
             self._writeback(vtags[dirty_any], "evict")
         else:
-            spill = vtags[vdirty]
+            # Mid-level eviction: inclusivity demands the victim leave the
+            # upper levels too; merge their dirtiness before spilling down.
+            dirty_any = vdirty.copy()
+            for up in self.levels[:level_idx]:
+                _present, was_dirty = up.remove(vtags)
+                dirty_any |= was_dirty
+            spill = vtags[dirty_any]
             if spill.size:
                 missing = self.levels[level_idx + 1].mark_dirty(spill)
                 # Inclusivity makes this empty in practice; spill any

@@ -118,9 +118,14 @@ class ReferenceHierarchy:
             if dirty_any:
                 self._nvm_writeback(vblock)
         else:
-            # Spill the dirty bit into the next level (inclusive ⇒ present);
-            # spill stragglers straight to NVM as a merge.
-            if vdirty and not self.levels[li + 1].mark_dirty(vblock):
+            # Mid-level eviction: back-invalidate upper levels and merge
+            # their dirtiness, then spill the dirty bit into the next level
+            # (inclusive ⇒ present); spill stragglers straight to NVM.
+            dirty_any = vdirty
+            for up in self.levels[:li]:
+                present, was_dirty = up.remove(vblock)
+                dirty_any = dirty_any or (present and was_dirty)
+            if dirty_any and not self.levels[li + 1].mark_dirty(vblock):
                 self._nvm_writeback(vblock)
 
     def access_round(self, blocks: np.ndarray, write: bool) -> None:

@@ -143,6 +143,13 @@ class CampaignResult:
     records: list[CrashTestRecord]
     run_stats: RunStats
     golden_iterations: int
+    #: restarts actually executed.  Equals ``len(records)`` for a naive
+    #: campaign; under a pruned crash plan (``run_campaign(plan=...)``)
+    #: only class representatives and purity tails run, so this is the
+    #: denominator of the pruning factor.  ``None`` when unknown (e.g. a
+    #: campaign loaded from disk — the field is an execution statistic,
+    #: not part of the result's content).
+    executed_trials: int | None = None
 
     # -- headline metrics ---------------------------------------------------
     #
@@ -224,6 +231,31 @@ class CampaignResult:
         :meth:`success_vector` / :meth:`object_rate_vectors` for weighted
         selection models."""
         return np.array([float(r.weight) for r in self.records])
+
+    def weighted_object_rates(self) -> dict[str, float]:
+        """Weight-aware mean inconsistent rate per candidate object.
+
+        Summation is ``math.fsum`` over each record's rate repeated
+        ``weight`` times: ``fsum`` returns the correctly rounded sum of
+        its inputs regardless of order or grouping, so any weight
+        redistribution that preserves the underlying rate multiset — in
+        particular a pruned crash plan replacing w identical trials by
+        one representative of weight w — yields the bit-identical double.
+        """
+        if not self.records:
+            return {}
+        import itertools
+
+        total = sum(r.weight for r in self.records)
+        names = sorted(self.records[0].rates)
+        return {
+            n: math.fsum(
+                x
+                for r in self.records
+                for x in itertools.repeat(r.rates.get(n, 0.0), r.weight)
+            ) / total
+            for n in names
+        }
 
 
 def _sample_crash_points(
@@ -416,6 +448,51 @@ def measure_run(factory: AppFactory, cfg: CampaignConfig) -> RunStats:
     return _run_stats(rt, iterations)
 
 
+def _broadcast_plan_records(
+    crash_plan, records: list[CrashTestRecord | None], store
+) -> None:
+    """Fill non-executed records from their class representative.
+
+    Tail members were classified independently; a disagreement with the
+    representative falsifies the equivalence relation (identical NVM
+    images must classify identically) and aborts loudly rather than
+    publishing wrong science.  Broadcast members take response and extra
+    iterations from the representative and their own coordinates
+    (counter, iteration, region, rates) from the golden metadata — the
+    resulting record list is bit-identical to the full campaign's.
+    """
+    for c, rep in enumerate(crash_plan.reps):
+        rep_rec = records[rep]
+        assert rep_rec is not None
+        for t in crash_plan.tails[c]:
+            tail_rec = records[t]
+            if tail_rec is None:
+                continue
+            if (
+                tail_rec.response is not rep_rec.response
+                or tail_rec.extra_iterations != rep_rec.extra_iterations
+            ):
+                raise RuntimeError(
+                    f"crash-plan purity violation in class {c}: tail point "
+                    f"{t} classified {tail_rec.response.name} "
+                    f"(+{tail_rec.extra_iterations}) but representative {rep} "
+                    f"classified {rep_rec.response.name} "
+                    f"(+{rep_rec.extra_iterations}) — the equivalence "
+                    "partition does not hold; re-emit the plan and report "
+                    "this as an analyzer bug"
+                )
+    for i, rec in enumerate(records):
+        if rec is not None:
+            continue
+        rep_rec = records[crash_plan.reps[crash_plan.class_ids[i]]]
+        assert rep_rec is not None
+        counter, iteration, region, rates = store.image_meta(i)
+        records[i] = CrashTestRecord(
+            counter, iteration, region, rates,
+            rep_rec.response, rep_rec.extra_iterations,
+        )
+
+
 def run_campaign(
     factory: AppFactory,
     cfg: CampaignConfig,
@@ -425,6 +502,7 @@ def run_campaign(
     retry: "RetryPolicy | None" = None,
     trial_timeout: float | None = None,
     golden: bool | None = None,
+    plan: "object | str | Path | None" = None,
 ) -> CampaignResult:
     """Run a full crash-test campaign for one application and plan.
 
@@ -451,7 +529,31 @@ def run_campaign(
     an execution strategy, not a campaign parameter: results, journal
     headers and artifact-cache content keys are unchanged either way.
     Verified mode and multi-core simulation always use the legacy path.
+
+    ``plan`` is a pruned crash plan (a :class:`repro.analysis.equiv_pass.
+    CrashPlan` or a path to one emitted by ``repro analyze --emit-plan``):
+    only one representative crash point per NVM-image equivalence class —
+    plus each class's purity tail — is actually classified, and the
+    representative's response is broadcast to the rest of its class.
+    Records and every aggregate stay bit-identical to the full campaign
+    (same sampled points, same coordinates, deterministically identical
+    responses); the plan must have been emitted for exactly this campaign
+    (app, params, config, versions) or a :class:`~repro.errors.UsageError`
+    is raised.  Requires the golden-pass engine.
     """
+    crash_plan = None
+    if plan is not None:
+        from repro.analysis.equiv_pass import CrashPlan
+
+        crash_plan = plan if isinstance(plan, CrashPlan) else CrashPlan.load(plan)
+        crash_plan.validate_for(factory, cfg)
+        if cfg.n_cores > 1 or cfg.verified_mode or golden is False:
+            from repro.errors import UsageError
+
+            raise UsageError(
+                "a pruned crash plan requires the golden-pass engine: "
+                "single-core, non-verified, and not --no-golden"
+            )
     reg = registry()
     tracer = reg.tracer if reg is not None else None
     with maybe_span(tracer, "campaign", app=factory.name, tests=cfg.n_tests):
@@ -469,7 +571,18 @@ def run_campaign(
             window, cfg.n_tests, cfg.seed, factory.name, cfg.distribution
         )
         points, weights = _dedupe_crash_points(points)
-        use_golden = (
+        if crash_plan is not None and (
+            crash_plan.points != [int(p) for p in points]
+            or crash_plan.weights != [int(w) for w in weights]
+        ):
+            from repro.errors import UsageError
+
+            raise UsageError(
+                "crash plan's sampled points disagree with this campaign's "
+                "sampling — the plan is stale; re-emit with "
+                "`repro analyze --emit-plan`"
+            )
+        use_golden = crash_plan is not None or (
             (golden if golden is not None else _golden_default())
             and cfg.n_cores == 1
             and not cfg.verified_mode
@@ -483,6 +596,16 @@ def run_campaign(
             raise RuntimeError(
                 f"{factory.name}: {points.size} crash points but {n_snaps} snapshots"
             )
+        if crash_plan is not None:
+            from repro.analysis.equiv_pass import partition_signatures
+
+            assert store is not None
+            if partition_signatures(store.image_signatures()) != crash_plan.class_ids:
+                raise RuntimeError(
+                    "crash plan is stale: the recorded write-back partition "
+                    "differs from the plan's equivalence classes — re-emit "
+                    "with `repro analyze --emit-plan`"
+                )
 
         from repro.nvct.parallel import DEFAULT_CHUNK_TIMEOUT, classify_snapshots, resolve_jobs
 
@@ -500,7 +623,12 @@ def run_campaign(
         for i, rec in completed.items():
             if 0 <= i < n_snaps:
                 records[i] = rec
-        missing = [i for i in range(n_snaps) if records[i] is None]
+        to_run = (
+            crash_plan.executed_indices()
+            if crash_plan is not None
+            else range(n_snaps)
+        )
+        missing = [i for i in to_run if records[i] is None]
         try:
             with maybe_span(
                 tracer, "classify", app=factory.name, tests=n_snaps,
@@ -549,6 +677,8 @@ def run_campaign(
         finally:
             if journal_obj is not None:
                 journal_obj.close()
+        if crash_plan is not None:
+            _broadcast_plan_records(crash_plan, records, store)
         assert all(r is not None for r in records)
         # Weights derive deterministically from the seed, so re-applying
         # them on a journal resume reproduces the uninterrupted result.
@@ -568,4 +698,5 @@ def run_campaign(
         records=records,  # type: ignore[arg-type]
         run_stats=_run_stats(rt, iterations),
         golden_iterations=golden_result.iterations,
+        executed_trials=len(list(to_run)),
     )

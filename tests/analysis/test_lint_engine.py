@@ -1,0 +1,206 @@
+"""Engine durability self-lint: fixtures per rule + the engine stays clean."""
+
+import textwrap
+
+from repro.analysis.findings import Severity
+from repro.analysis.lint_engine import (
+    default_engine_targets,
+    lint_paths,
+    lint_source,
+)
+
+
+def run(src: str):
+    return lint_source(textwrap.dedent(src), filename="engine.py")
+
+
+# -- write-without-fsync -------------------------------------------------------
+
+def test_local_write_without_fsync_fires():
+    findings = run(
+        """
+        def save(path, data):
+            with open(path, "wb") as fh:
+                fh.write(data)
+        """
+    )
+    assert [f.rule for f in findings] == ["write-without-fsync"]
+    (f,) = findings
+    assert f.severity is Severity.ERROR
+    assert f.key == "write-without-fsync:engine.py:save:wb"
+
+
+def test_truncate_without_fsync_fires():
+    findings = run(
+        """
+        def chop(path, valid):
+            with open(path, "r+b") as fh:
+                fh.truncate(valid)
+        """
+    )
+    assert sorted(f.key for f in findings) == [
+        "write-without-fsync:engine.py:chop:r+b",
+        "write-without-fsync:engine.py:chop:truncate",
+    ]
+
+
+def test_fsync_on_the_handle_is_clean():
+    assert run(
+        """
+        import os
+
+        def save(path, data):
+            with open(path, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+        """
+    ) == []
+
+
+def test_handle_passed_to_fsyncing_helper_is_clean():
+    assert run(
+        """
+        import os
+
+        def _seal(fh):
+            fh.flush()
+            os.fsync(fh.fileno())
+
+        def save(path, data):
+            with open(path, "wb") as fh:
+                fh.write(data)
+                _seal(fh)
+        """
+    ) == []
+
+
+def test_escaping_handle_excused_by_class_fsync():
+    """The journal shape: open in one method, fsync in another."""
+    assert run(
+        """
+        import os
+
+        class Journal:
+            def open(self, path):
+                self._fh = open(path, "wb")
+
+            def append(self, line):
+                self._fh.write(line)
+                os.fsync(self._fh.fileno())
+        """
+    ) == []
+
+
+def test_read_only_open_is_clean():
+    assert run(
+        """
+        def load(path):
+            with open(path, "rb") as fh:
+                return fh.read()
+        """
+    ) == []
+
+
+# -- rename-without-dir-fsync --------------------------------------------------
+
+def test_rename_without_dir_fsync_fires():
+    findings = run(
+        """
+        import os
+
+        def publish(tmp, path):
+            os.replace(tmp, path)
+        """
+    )
+    assert [f.rule for f in findings] == ["rename-without-dir-fsync"]
+    (f,) = findings
+    assert f.severity is Severity.WARNING
+    assert f.key == "rename-without-dir-fsync:engine.py:publish:os.replace"
+
+
+def test_shutil_move_counts_as_rename():
+    findings = run(
+        """
+        import shutil
+
+        def stash(path, target):
+            shutil.move(str(path), str(target))
+        """
+    )
+    assert [f.key for f in findings] == [
+        "rename-without-dir-fsync:engine.py:stash:shutil.move"
+    ]
+
+
+def test_dir_fsync_helper_in_closure_is_clean():
+    assert run(
+        """
+        import os
+
+        def _fsync_dir(path):
+            fd = os.open(path, os.O_RDONLY)
+            os.fsync(fd)
+            os.close(fd)
+
+        def publish(tmp, path, parent):
+            os.replace(tmp, path)
+            _fsync_dir(parent)
+        """
+    ) == []
+
+
+# -- bare-open-w ---------------------------------------------------------------
+
+def test_bare_open_w_fires():
+    findings = run(
+        """
+        import os
+
+        def dump(path, text):
+            with open(path, "w") as fh:
+                fh.write(text)
+                os.fsync(fh.fileno())
+        """
+    )
+    assert [f.rule for f in findings] == ["bare-open-w"]
+    assert findings[0].severity is Severity.WARNING
+    assert findings[0].key == "bare-open-w:engine.py:dump:w"
+
+
+def test_binary_and_append_modes_are_not_bare_w():
+    findings = run(
+        """
+        import os
+
+        def dump(path, data):
+            with open(path, "ab") as fh:
+                fh.write(data)
+                os.fsync(fh.fileno())
+        """
+    )
+    assert findings == []
+
+
+def test_allow_annotation_suppresses_lint():
+    assert run(
+        """
+        def save(path, data):
+            with open(path, "wb") as fh:  # analysis: allow(write-without-fsync)
+                fh.write(data)
+        """
+    ) == []
+
+
+# -- the engine itself ---------------------------------------------------------
+
+def test_engine_targets_cover_harness_and_journal():
+    targets = default_engine_targets()
+    names = {p.name for p in targets}
+    assert "store.py" in names and "cache.py" in names and "journal.py" in names
+    assert len(targets) >= 7
+
+
+def test_engine_is_lint_clean():
+    """harness/ + the campaign journal satisfy their own durability rules."""
+    assert lint_paths(default_engine_targets()) == []

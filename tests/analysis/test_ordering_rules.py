@@ -1,0 +1,239 @@
+"""Persist-order sanitizer: each ordering rule on its dedicated fixture.
+
+The four rules only activate for classes that commit durability manually
+(at least one ``.persist()`` call reachable from ``_iterate``), so the
+registry apps — which delegate persistence to the campaign plan — stay
+out of scope by construction (asserted at the bottom).
+"""
+
+import textwrap
+
+from repro.analysis import analyze_source
+from repro.analysis.findings import Severity
+
+
+def run(src: str):
+    return analyze_source(textwrap.dedent(src), filename="fixture.py")
+
+
+# -- persist-order -------------------------------------------------------------
+
+PERSIST_ORDER = """
+    class MarkerFirstApp:
+        REGIONS = ("R1",)
+
+        def _allocate(self):
+            self.data = self.ws.array("data", (8,))
+            self.marker = self.ws.scalar("marker", 0.0)
+
+        def _iterate(self, it):
+            with self.ws.region("R1"):
+                self.data.write(slice(None), it)
+                self.marker.set(it)
+            self.marker.persist()  # commit marker before the data it guards
+            with self.ws.region("R1"):
+                self.data.write(0, it)
+            self.data.persist()
+            return False
+"""
+
+
+def test_persist_order_fires_once():
+    findings = run(PERSIST_ORDER)
+    assert [f.rule for f in findings] == ["persist-order"]
+    (f,) = findings
+    assert f.severity is Severity.ERROR
+    assert f.key == "persist-order:fixture.py:MarkerFirstApp._iterate:marker:data"
+    assert "marker" in f.message and "data" in f.message
+
+
+def test_persist_order_clean_when_data_persisted_first():
+    src = """
+    class DataFirstApp:
+        REGIONS = ("R1",)
+
+        def _allocate(self):
+            self.data = self.ws.array("data", (8,))
+            self.marker = self.ws.scalar("marker", 0.0)
+
+        def _iterate(self, it):
+            with self.ws.region("R1"):
+                self.data.write(slice(None), it)
+            self.data.persist()
+            with self.ws.region("R1"):
+                self.marker.set(it)
+            self.marker.persist()
+            return False
+    """
+    assert run(src) == []
+
+
+def test_persist_order_seen_through_helper_calls():
+    """Interprocedural: the marker persist hides inside a helper."""
+    src = """
+    class HelperCommitApp:
+        REGIONS = ("R1",)
+
+        def _allocate(self):
+            self.data = self.ws.array("data", (8,))
+            self.marker = self.ws.scalar("marker", 0.0)
+
+        def _commit(self, it):
+            self.marker.persist()
+            with self.ws.region("R1"):
+                self.data.write(0, it)
+            self.data.persist()
+
+        def _iterate(self, it):
+            with self.ws.region("R1"):
+                self.data.write(slice(None), it)
+                self.marker.set(it)
+            self._commit(it)
+            return False
+    """
+    findings = run(src)
+    assert [f.rule for f in findings] == ["persist-order"]
+    assert findings[0].key == (
+        "persist-order:fixture.py:HelperCommitApp._commit:marker:data"
+    )
+
+
+def test_persist_order_allow_annotation_suppresses():
+    src = PERSIST_ORDER.replace(
+        "self.marker.persist()  # commit marker before the data it guards",
+        "self.marker.persist()  # analysis: allow(persist-order)",
+    )
+    assert run(src) == []
+
+
+# -- torn-commit ---------------------------------------------------------------
+
+TORN_COMMIT = """
+    class TornApp:
+        REGIONS = ("R1",)
+
+        def _allocate(self):
+            self.a = self.ws.array("a", (8,))
+            self.b = self.ws.array("b", (8,))
+
+        def _iterate(self, it):
+            with self.ws.region("R1"):
+                self.a.write(slice(None), it)
+                self.b.write(slice(None), it)
+            self.a.persist()
+            self.b.persist()  # multi-word group, no atomic scalar root
+            return False
+"""
+
+
+def test_torn_commit_fires_once():
+    findings = run(TORN_COMMIT)
+    assert [f.rule for f in findings] == ["torn-commit"]
+    (f,) = findings
+    assert f.severity is Severity.ERROR
+    assert f.key == "torn-commit:fixture.py:TornApp._iterate:a+b"
+
+
+def test_scalar_rooted_commit_group_is_clean():
+    src = """
+    class RootedApp:
+        REGIONS = ("R1",)
+
+        def _allocate(self):
+            self.a = self.ws.array("a", (8,))
+            self.b = self.ws.array("b", (8,))
+            self.flag = self.ws.scalar("flag", 0.0)
+
+        def _iterate(self, it):
+            with self.ws.region("R1"):
+                self.a.write(slice(None), it)
+                self.b.write(slice(None), it)
+                self.flag.set(it)
+            self.a.persist()
+            self.b.persist()
+            self.flag.persist()  # one-word atomic root seals the group
+            return False
+    """
+    assert run(src) == []
+
+
+# -- redundant-persist ---------------------------------------------------------
+
+def test_redundant_persist_fires_once():
+    src = """
+    class RedundantApp:
+        REGIONS = ("R1",)
+
+        def _allocate(self):
+            self.a = self.ws.array("a", (8,))
+
+        def _iterate(self, it):
+            with self.ws.region("R1"):
+                self.a.write(slice(None), it)
+            self.a.persist()
+            self.a.persist()  # nothing stored since the line above
+            return False
+    """
+    findings = run(src)
+    assert [f.rule for f in findings] == ["redundant-persist"]
+    (f,) = findings
+    assert f.severity is Severity.WARNING
+    assert f.key == "redundant-persist:fixture.py:RedundantApp._iterate:a"
+
+
+# -- unpersisted-at-exit -------------------------------------------------------
+
+def test_unpersisted_at_exit_fires_once():
+    src = """
+    class ForgottenApp:
+        REGIONS = ("R1",)
+
+        def _allocate(self):
+            self.a = self.ws.array("a", (8,))
+            self.b = self.ws.array("b", (8,))
+
+        def _iterate(self, it):
+            with self.ws.region("R1"):
+                self.a.write(slice(None), it)
+                self.b.write(slice(None), it)
+            self.a.persist()
+            return False
+    """
+    findings = run(src)
+    assert [f.rule for f in findings] == ["unpersisted-at-exit"]
+    (f,) = findings
+    assert f.severity is Severity.WARNING
+    assert f.key == "unpersisted-at-exit:fixture.py:ForgottenApp._iterate:b"
+
+
+def test_plan_managed_class_is_out_of_scope():
+    """No manual persists → the ordering rules stay silent (registry style)."""
+    src = """
+    class PlanManagedApp:
+        REGIONS = ("R1",)
+
+        def _allocate(self):
+            self.a = self.ws.array("a", (8,))
+            self.flag = self.ws.scalar("flag", 0.0)
+
+        def _iterate(self, it):
+            with self.ws.region("R1"):
+                self.a.write(slice(None), it)
+                self.flag.set(it)
+            return False
+    """
+    assert run(src) == []
+
+
+def test_ordering_keys_are_line_number_free():
+    findings = run(TORN_COMMIT)
+    shifted = run("\n\n\n" + TORN_COMMIT)
+    assert shifted[0].key == findings[0].key
+    assert shifted[0].where != findings[0].where
+
+
+def test_registry_apps_stay_clean_with_ordering_rules():
+    from repro.analysis.driver import default_app_paths
+    from repro.analysis.static_pass import analyze_paths
+
+    assert analyze_paths(default_app_paths()) == []

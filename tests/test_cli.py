@@ -187,6 +187,82 @@ def test_analyze_reports_findings(capsys, tmp_path):
     assert "bad_app.py" in out
 
 
+def test_analyze_unknown_app_exits_2(capsys):
+    code = main(["analyze", "--no-dynamic", "--no-self-lint", "--apps", "NOPE"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown application 'NOPE'" in err
+    assert "list-apps" in err
+
+
+def test_analyze_sarif_export(capsys, tmp_path):
+    bad = tmp_path / "bad_app.py"
+    bad.write_text(BUGGY_APP)
+    sarif = tmp_path / "report.sarif"
+    code, out = run_cli(
+        capsys, "analyze", str(bad), "--no-dynamic", "--no-self-lint",
+        "--sarif", str(sarif),
+    )
+    assert code == 1
+    assert "sarif report" in out
+
+    import json
+
+    doc = json.loads(sarif.read_text())
+    assert doc["version"] == "2.1.0"
+    results = doc["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["raw-np-escape"]
+    assert results[0]["partialFingerprints"]["reproKey"]
+
+
+def test_analyze_emit_plan_requires_one_app(capsys, tmp_path):
+    code = main(
+        ["analyze", "--no-dynamic", "--no-self-lint",
+         "--emit-plan", str(tmp_path / "plan.json")]
+    )
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--apps" in err
+
+
+def test_analyze_emit_plan_then_campaign_consumes_it(capsys, tmp_path):
+    plan_file = tmp_path / "plan.json"
+    code, out = run_cli(
+        capsys, "analyze", "--no-dynamic", "--no-self-lint",
+        "--apps", "kmeans", "--emit-plan", str(plan_file),
+        "--tests", "40", "--seed", "3", "--campaign-plan", "loop",
+    )
+    assert code == 0
+    assert "equivalence classes" in out
+    assert plan_file.exists()
+
+    code, out = run_cli(
+        capsys, "campaign", "kmeans", "--tests", "40", "--seed", "3",
+        "--plan", "loop", "--crash-plan", str(plan_file),
+    )
+    assert code == 0
+    assert "crash plan: executed" in out
+
+    # a mismatched campaign is refused with a usage error, not wrong science
+    code = main(
+        ["campaign", "kmeans", "--tests", "41", "--seed", "3",
+         "--plan", "loop", "--crash-plan", str(plan_file)]
+    )
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "re-emit" in err
+
+
+def test_crash_plan_conflicts_with_until_stable(capsys, tmp_path):
+    code = main(
+        ["campaign", "kmeans", "--tests", "8", "--until-stable",
+         "--crash-plan", str(tmp_path / "plan.json")]
+    )
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--until-stable" in err
+
+
 def test_analyze_update_baseline_then_clean(capsys, tmp_path):
     bad = tmp_path / "bad_app.py"
     bad.write_text(BUGGY_APP)

@@ -330,6 +330,56 @@ journal* section of `docs/API.md`.
 """
 
 
+def _equivalence_section() -> str:
+    """Live table: equivalence-class counts vs naive crash-point sampling."""
+    header = """## Crash-plan equivalence pruning vs naive sampling
+
+NVM content changes only on write-backs (evictions + persist flushes),
+so crash points between the same two write-back events see bit-identical
+NVM images and classify identically.  `repro analyze --emit-plan`
+partitions the sampled points by dirty-block signature; `repro campaign
+--crash-plan` then executes one representative per class plus a
+cross-checked purity tail and broadcasts the responses.  The pruned
+record list is **bit-identical** to the full campaign's — same records,
+same aggregates to the last ulp (`tests/analysis/test_equiv_pass.py`)
+— at the reduction factors below (computed live for the proof-scale
+configurations the test suite uses):
+"""
+    try:
+        from repro.analysis.equiv_pass import build_crash_plan
+        from repro.apps.base import AppFactory
+        from repro.apps.ep import EP
+        from repro.apps.kmeans import KMeans
+        from repro.nvct.campaign import CampaignConfig
+        from repro.nvct.plan import PersistencePlan
+
+        cases = [
+            (AppFactory(EP, batches=8, batch_size=256, seed=2020), 200),
+            (AppFactory(KMeans, n_points=256, n_features=4, k=4, seed=2020), 400),
+        ]
+        rows = [
+            "| app | sampled crash points (naive trials) | equivalence classes "
+            "| executed trials (incl. purity tail) | reduction |",
+            "|---|---|---|---|---|",
+        ]
+        for factory, n_tests in cases:
+            app = factory.make(None)
+            cands = [o.name for o in app.ws.heap.candidates()]
+            cfg = CampaignConfig(
+                n_tests=n_tests, seed=3, plan=PersistencePlan.at_loop_end(cands)
+            )
+            plan = build_crash_plan(factory, cfg)
+            executed = len(plan.executed_indices())
+            rows.append(
+                f"| {factory.name} | {plan.n_points} | {plan.n_classes} "
+                f"| {executed} | {plan.n_points / executed:.1f}x |"
+            )
+        table = "\n".join(rows) + "\n"
+    except Exception as exc:  # pragma: no cover - doc builder resilience
+        table = f"*(equivalence table unavailable: {exc})*\n"
+    return header + "\n" + table
+
+
 def main() -> int:
     if not RESULTS.exists():
         print("no benchmarks/results/ — run the benchmark suite first", file=sys.stderr)
@@ -350,6 +400,7 @@ def main() -> int:
             parts.append("*(artifact missing — rerun the benchmark suite)*\n")
     parts.append(_chaos_section())
     parts.append(_golden_section())
+    parts.append(_equivalence_section())
     parts.append(_perf_section())
     TARGET.write_text("\n".join(parts), encoding="utf-8")
     print(f"wrote {TARGET} ({len(SECTIONS) - len(missing)}/{len(SECTIONS)} sections)")
