@@ -166,3 +166,56 @@ def test_ablation_flush_instruction(benchmark, ctx, results_dir):
     # ...but invalidation costs more (reloads -> more fills, more time).
     assert by["CLFLUSHOPT"][3] >= by["CLWB"][3]
     assert by["CLFLUSHOPT"][2] >= by["CLWB"][2] - 1e-9
+
+
+def test_ablation_crash_model(benchmark, ctx, results_dir):
+    """Persistence-domain ablation: how much of the paper's inconsistency
+    is the whole-cache-loss assumption itself.  Survivor overlays
+    guarantee eadr <= adr <= whole-cache-loss exactly (per crash point
+    and per object), so the aggregate table must be monotone too."""
+
+    def run():
+        models = ("whole-cache-loss", "adr", "eadr", "torn")
+        rows = []
+        for name in ("EP", "kmeans", "MG"):
+            rates = {}
+            recomp = {}
+            for model in models:
+                cfg = CampaignConfig(
+                    n_tests=ctx.settings.n_tests,
+                    seed=ctx.settings.seed + 1,
+                    plan=PersistencePlan.none(),
+                    crash_model=model,
+                )
+                camp = run_campaign(ctx.factory(name), cfg)
+                per_obj = camp.weighted_object_rates()
+                rates[model] = sum(per_obj.values()) / max(1, len(per_obj))
+                recomp[model] = camp.recomputability()
+            rows.append(
+                [name]
+                + [rates[m] for m in models]
+                + [recomp["whole-cache-loss"], recomp["eadr"]]
+            )
+        return ExperimentReport(
+            "Ablation crash model",
+            "mean inconsistent rate by crash model (no persistence plan)",
+            [
+                "App",
+                "whole-cache-loss",
+                "adr",
+                "eadr",
+                "torn",
+                "Recomp (wcl)",
+                "Recomp (eadr)",
+            ],
+            rows,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, results_dir)
+    for row in report.rows:
+        app, wcl, adr, eadr, torn = row[0], row[1], row[2], row[3], row[4]
+        assert 0.0 <= eadr <= adr <= wcl <= 1.0, (app, eadr, adr, wcl)
+        assert torn <= wcl + 1e-12, (app, torn, wcl)
+        # A surviving persistence domain cannot hurt recomputability.
+        assert row[6] >= row[5] - 1e-12, (app, row[5], row[6])

@@ -67,7 +67,12 @@ def crash_plan_key(factory: "AppFactory", cfg: "CampaignConfig") -> str:
     any change that could alter the sampled points or the write-back
     schedule invalidates the plan.
     """
-    from repro.harness.cache import _versions, fingerprint, plan_to_dict
+    from repro.harness.cache import (
+        _versions,
+        campaign_config_doc,
+        fingerprint,
+        plan_to_dict,
+    )
 
     return fingerprint(
         {
@@ -76,7 +81,7 @@ def crash_plan_key(factory: "AppFactory", cfg: "CampaignConfig") -> str:
             "app": factory.name,
             "params": factory.params,
             "plan": plan_to_dict(cfg.plan),
-            "config": cfg,
+            "config": campaign_config_doc(cfg),
         }
     )
 

@@ -1,13 +1,18 @@
 """Multi-level checkpoint timing model (after Moody/Mohror et al., the
 scheme the paper's Sec. 7 assumes: synchronous coordinated checkpoints
-written to node-local storage, drained asynchronously to remote storage).
+written to node-local storage, drained asynchronously to remote storage),
+plus the failure-arrival process the Sec. 7 emulator draws crashes from.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["MultiLevelCheckpointModel"]
+import numpy as np
+
+from repro.util.rng import derive_rng
+
+__all__ = ["MultiLevelCheckpointModel", "CorrelatedFailureProcess"]
 
 
 @dataclass(frozen=True)
@@ -53,3 +58,77 @@ class MultiLevelCheckpointModel:
         HDD ("hdd_slow") yields T_chk ≈ 32 s / 320 s / 3200 s."""
         bw = {"ssd": 2e9, "hdd_fast": 2e8, "hdd_slow": 2e7}[device]
         return MultiLevelCheckpointModel(memory_gb * 64e9 / 64, bw)
+
+
+@dataclass(frozen=True)
+class CorrelatedFailureProcess:
+    """Seeded failure-arrival process for the Sec. 7 emulator.
+
+    Primary failures arrive with exponential inter-arrival times at the
+    system MTBF (the paper's assumption: Eqs. 6-9 take ``M = Total/MTBF``
+    as the Poisson expectation).  ``correlation`` adds the bursts real
+    machines exhibit (cascading node failures after a rack power or
+    fabric event): each failure spawns a correlated follow-up within an
+    exponential ``burst_window_s`` with probability ``correlation``, and
+    follow-ups can cascade — burst sizes are geometric, so the expected
+    arrival count inflates by ``1/(1 - correlation)``.
+
+    Everything is derived from ``seed`` via :func:`repro.util.rng.derive_rng`,
+    so a scenario's failure schedule replays bit-identically.
+    """
+
+    mtbf_s: float
+    correlation: float = 0.0
+    burst_window_s: float = 600.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mtbf_s <= 0 or self.burst_window_s <= 0:
+            raise ValueError("mtbf_s and burst_window_s must be positive")
+        if not 0.0 <= self.correlation < 1.0:
+            raise ValueError("correlation must be in [0, 1)")
+
+    def arrivals(self, horizon_s: float) -> np.ndarray:
+        """Sorted failure times in ``[0, horizon_s)``."""
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        rng = derive_rng(
+            self.seed, "failure-arrivals", f"{self.mtbf_s:.6e}",
+            f"{self.correlation:.6e}", f"{self.burst_window_s:.6e}",
+        )
+        out: list[float] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(self.mtbf_s))
+            if t >= horizon_s:
+                break
+            out.append(t)
+            follow = t
+            while float(rng.random()) < self.correlation:
+                follow += float(rng.exponential(self.burst_window_s))
+                if follow >= horizon_s:
+                    break
+                out.append(follow)
+        return np.sort(np.asarray(out, dtype=np.float64))
+
+    def effective_mtbf(self, horizon_s: float) -> float:
+        """Empirical MTBF of the sampled schedule (``horizon / count``);
+        equals ``mtbf_s`` in expectation at ``correlation == 0`` and
+        shrinks toward ``mtbf_s * (1 - correlation)`` under bursts."""
+        n = int(self.arrivals(horizon_s).size)
+        return horizon_s / n if n else float("inf")
+
+    @staticmethod
+    def for_nodes(
+        nodes: int, correlation: float = 0.0, burst_window_s: float = 600.0, seed: int = 0
+    ) -> "CorrelatedFailureProcess":
+        """The paper's exascale scenarios: per-node MTBF scaling gives the
+        12 h / 6 h / 3 h system MTBFs at 100k / 200k / 400k nodes."""
+        from repro.system.mtbf import mtbf_for_nodes
+
+        return CorrelatedFailureProcess(
+            mtbf_s=mtbf_for_nodes(nodes),
+            correlation=correlation,
+            burst_window_s=burst_window_s,
+            seed=seed,
+        )

@@ -160,6 +160,17 @@ def build_parser() -> argparse.ArgumentParser:
         "one trial per NVM-image equivalence class (plus a purity tail) "
         "and broadcast the results — bit-identical to the full campaign",
     )
+    c.add_argument(
+        "--crash-model",
+        metavar="MODEL",
+        default="whole-cache-loss",
+        help="crash model (repro.memsim.crashmodel): whole-cache-loss "
+        "(default, the paper's), adr[:wpq=N] (a bounded write-pending "
+        "queue of the most recent lines drains), eadr[:granularity=G] "
+        "(dirty caches flush; the in-flight store tears), or "
+        "torn[:granularity=G] (a seeded prefix of the in-flight store "
+        "persists)",
+    )
     _add_jobs_flag(c)
 
     p = sub.add_parser("plan", help="run the EasyCrash planning workflow")
@@ -247,6 +258,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--tail", type=int, default=None, metavar="N",
         help="(--emit-plan) extra audited members per equivalence class "
         "(default 1; 0 disables the purity audit)",
+    )
+    an.add_argument(
+        "--crash-model", metavar="MODEL", default="whole-cache-loss",
+        help="(--emit-plan) crash model of the campaign the plan is for "
+        "(see `repro campaign --crash-model`)",
     )
 
     st = sub.add_parser(
@@ -367,7 +383,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             plan = report.plan
             print(f"critical objects: {', '.join(report.critical_objects) or '(none)'}")
         cfg = CampaignConfig(
-            n_tests=args.tests, seed=args.seed, plan=plan, n_cores=args.cores
+            n_tests=args.tests, seed=args.seed, plan=plan, n_cores=args.cores,
+            crash_model=getattr(args, "crash_model", "whole-cache-loss"),
         )
         retry = None
         if getattr(args, "max_retries", None) is not None:
@@ -614,6 +631,7 @@ def _emit_crash_plan(args: argparse.Namespace) -> None:
         seed=args.seed,
         plan=plan,
         distribution=args.distribution,
+        crash_model=getattr(args, "crash_model", "whole-cache-loss"),
     )
     tail = DEFAULT_TAIL if args.tail is None else args.tail
     crash_plan = build_crash_plan(

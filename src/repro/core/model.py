@@ -15,6 +15,7 @@ from typing import Mapping
 
 __all__ = [
     "application_recomputability",
+    "application_recomputability_by_model",
     "recomputability_with_frequency",
     "recomputability_with_plan",
 ]
@@ -29,6 +30,24 @@ def application_recomputability(
     recomputability 0 (conservative).
     """
     return float(sum(a * c.get(k, 0.0) for k, a in shares.items()))
+
+
+def application_recomputability_by_model(
+    shares: Mapping[str, float],
+    c_by_model: Mapping[str, Mapping[str, float]],
+) -> dict[str, float]:
+    """Eq. 1 evaluated once per crash model.
+
+    ``c_by_model`` maps a crash-model spec (see
+    :mod:`repro.memsim.crashmodel`) to per-region recomputabilities
+    measured by campaigns run under that model; the Sec. 7 emulator
+    (:func:`repro.system.efficiency.efficiency_by_crash_model`) consumes
+    the result to compare persistence-domain assumptions on equal terms.
+    """
+    return {
+        model: application_recomputability(shares, c)
+        for model, c in c_by_model.items()
+    }
 
 
 def recomputability_with_frequency(c_k: float, c_k_max: float, x: int) -> float:

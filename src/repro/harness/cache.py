@@ -64,6 +64,7 @@ __all__ = [
     "ArtifactCache",
     "fingerprint",
     "plan_fingerprint",
+    "campaign_config_doc",
     "campaign_key",
     "measure_key",
     "plan_report_key",
@@ -115,6 +116,25 @@ def _versions() -> list:
     return [__version__, FORMAT_VERSION]
 
 
+def campaign_config_doc(cfg: "CampaignConfig") -> dict:
+    """Canonical ``config`` ingredient for content keys.
+
+    The crash model is dropped at its default (keys stay byte-identical
+    to the pre-crash-model era) and replaced by the *parsed* model's
+    fingerprint otherwise — so keys change iff the model changes, not
+    when its spelling does (``"adr"`` == ``"adr:wpq=64"``).
+    """
+    doc = asdict(cfg)
+    spec = doc.pop("crash_model", None)
+    if spec is not None:
+        from repro.memsim.crashmodel import get_model
+
+        model = get_model(spec)
+        if not model.is_default:
+            doc["crash_model"] = model.fingerprint()
+    return doc
+
+
 def campaign_key(factory: "AppFactory", cfg: "CampaignConfig") -> str:
     """Content key of ``run_campaign(factory, cfg)``."""
     return fingerprint(
@@ -124,7 +144,7 @@ def campaign_key(factory: "AppFactory", cfg: "CampaignConfig") -> str:
             "app": factory.name,
             "params": factory.params,
             "plan": plan_to_dict(cfg.plan),
-            "config": cfg,
+            "config": campaign_config_doc(cfg),
         }
     )
 
@@ -138,7 +158,7 @@ def measure_key(factory: "AppFactory", cfg: "CampaignConfig") -> str:
             "app": factory.name,
             "params": factory.params,
             "plan": plan_to_dict(cfg.plan),
-            "config": cfg,
+            "config": campaign_config_doc(cfg),
         }
     )
 

@@ -15,7 +15,12 @@ site                  faults it can fire
                       the circuit breaker must recover)
 ``serialize.pack``    ``truncate`` — a packed snapshot array loses its
                       tail, so the worker's unpack raises
-                      :class:`~repro.errors.SnapshotCorruptError`
+                      :class:`~repro.errors.SnapshotCorruptError`;
+                      ``bitflip``; ``torn_writeback`` — a multi-word
+                      store tears at sub-block granularity (the crash-
+                      model hazard of :mod:`repro.memsim.crashmodel`,
+                      applied to a transport payload: the suffix of one
+                      64-byte line is zeroed, the CRC must catch it)
 ``cache.read``        ``corrupt_read`` (bit-flipped bytes → decode fails →
                       counted miss), ``os_error``, ``slow_io``
 ``cache.write``       ``os_error`` (the store is abandoned *before*
@@ -74,6 +79,7 @@ FAULT_KINDS = (
     "slow_io",
     "bitflip",
     "stale_version",
+    "torn_writeback",
 )
 
 #: Seconds a parallel chunk may take when worker-death chaos is active.
@@ -167,6 +173,27 @@ class ChaosInjector:
         bit = derive_seed(self.seed, "chaos-bit", site, len(data)) % (len(data) * 8)
         byte, offset = divmod(bit, 8)
         return data[:byte] + bytes([data[byte] ^ (1 << offset)]) + data[byte + 1 :]
+
+    def torn_writeback(self, site: str, data: bytes, granularity: int = 8) -> bytes:
+        """Fire ``torn_writeback``: one 64-byte line of ``data`` tears.
+
+        A deterministic ``granularity``-aligned prefix of the chosen line
+        persists; the rest of the line is zeroed (length is preserved —
+        the tear is *within* the write, unlike ``truncate``).  Mirrors
+        the ``torn`` crash model's in-flight-store hazard on a transport
+        payload.
+        """
+        if not data or not self.fires(site, "torn_writeback"):
+            return data
+        n_lines = (len(data) + 63) // 64
+        line = derive_seed(self.seed, "chaos-torn", site, len(data)) % n_lines
+        lo = line * 64
+        hi = min(lo + 64, len(data))
+        n_granules = max(1, (hi - lo) // granularity)
+        cut = lo + (
+            derive_seed(self.seed, "chaos-torn-cut", site, len(data)) % n_granules
+        ) * granularity
+        return data[:cut] + b"\x00" * (hi - cut) + data[hi:]
 
 
 # -- process-wide gate (mirrors repro.obs.metrics) ----------------------------

@@ -38,6 +38,7 @@ published by the runtime), ``golden.images_materialized`` /
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator
@@ -95,6 +96,7 @@ class GoldenRecorder:
         self._tracked: dict[str, _Tracked] = {}
         self._rate_order: list[_Tracked] = []
         self._metas: list[_ImageMeta] = []
+        self._extras: dict[int, dict[str, tuple[np.ndarray, np.ndarray]]] | None = None
         self._active = False
         self.deltas_recorded = 0
         self.delta_bytes = 0
@@ -124,6 +126,7 @@ class GoldenRecorder:
                 self._rate_order.append(t)
             self._tracked[o.name] = t
         self._metas = []
+        self._extras = None
         self._active = True
 
     def on_writeback(
@@ -167,13 +170,26 @@ class GoldenRecorder:
             return
         t.stale[blocks - obj.base_block] = True
 
-    def take(self, counter: int, iteration: int, region: str) -> None:
+    def take(
+        self,
+        counter: int,
+        iteration: int,
+        region: str,
+        extras: dict[str, tuple[np.ndarray, np.ndarray, int]] | None = None,
+    ) -> None:
         """Record one crash point: metadata plus exact inconsistent rates.
 
         Only blocks touched since the previous crash point are re-diffed;
         untouched blocks keep their cached counts, so the rates equal a
         full architectural-vs-NVM diff bit for bit at a fraction of the
-        cost."""
+        cost.
+
+        ``extras`` carries a crash model's survivor overlay for this image
+        (``{name: (byte_idx, values, fixed)}``): the overlay bytes are
+        stored for replay and ``fixed`` — the count of overlay bytes that
+        differed from the NVM image — is subtracted from the raw diff,
+        which equals a post-overlay full diff exactly (overlay bytes are
+        architectural, so they can only turn differing bytes equal)."""
         rates: dict[str, float] = {}
         for t in self._rate_order:
             o = t.obj
@@ -184,7 +200,17 @@ class GoldenRecorder:
                 self._recount(t, sb)
                 t.total += int(t.counts[sb].sum()) - old
                 t.stale[sb] = False
-            rates[o.name] = t.total / o.nbytes if o.nbytes else 0.0
+            total = t.total
+            if extras is not None and o.name in extras:
+                total -= extras[o.name][2]
+            rates[o.name] = total / o.nbytes if o.nbytes else 0.0
+        if extras is not None:
+            if self._extras is None:
+                self._extras = {}
+            self._extras[len(self._metas)] = {
+                name: (idx, vals) for name, (idx, vals, _fixed) in extras.items()
+                if name in self._tracked
+            }
         self._metas.append(_ImageMeta(counter, iteration, region, rates))
         if len(self._metas) >= self.n_images:
             self._active = False  # past the last crash point: stop recording
@@ -234,7 +260,10 @@ class GoldenRecorder:
                 idx[name] = np.empty(0, dtype=np.int64)
                 vals[name] = np.empty(0, dtype=np.uint8)
                 bounds[name] = np.zeros(n + 1, dtype=np.int64)
-        return GoldenStore(metas=list(self._metas), base=base, idx=idx, vals=vals, bounds=bounds)
+        return GoldenStore(
+            metas=list(self._metas), base=base, idx=idx, vals=vals, bounds=bounds,
+            extras=self._extras,
+        )
 
 
 class GoldenStore:
@@ -247,12 +276,17 @@ class GoldenStore:
         idx: dict[str, np.ndarray],
         vals: dict[str, np.ndarray],
         bounds: dict[str, np.ndarray],
+        extras: dict[int, dict[str, tuple[np.ndarray, np.ndarray]]] | None = None,
     ) -> None:
         self._metas = metas
         self._base = base
         self._idx = idx
         self._vals = vals
         self._bounds = bounds
+        # Per-image crash-model survivor overlays (None for the default
+        # whole-cache-loss model): applied on top of the delta prefix when
+        # an image is materialized, undone before advancing to the next.
+        self._extras = extras
         self._names = list(base)
         self.images_materialized = 0
         self.bytes_copied = 0
@@ -278,13 +312,32 @@ class GoldenStore:
         equivalence pass partitions the crash-point space by.  Bounds are
         monotone per object, so equal signatures can only occur on
         consecutive crash points.
+
+        When the store carries crash-model survivor overlays, each
+        signature gains one trailing element: a digest of the image's
+        overlay bytes, so two points are only merged when both the
+        persisted prefix *and* the surviving cache bytes agree.  Default
+        (whole-cache-loss) signatures are unchanged.
         """
         names = sorted(self._names)
         n = self.n_images
-        return [
-            tuple(int(self._bounds[name][k + 1]) for name in names)
-            for k in range(n)
-        ]
+        sigs: list[tuple[int, ...]] = []
+        for k in range(n):
+            sig = tuple(int(self._bounds[name][k + 1]) for name in names)
+            if self._extras is not None:
+                sig = sig + (self._extras_digest(self._extras.get(k, {})),)
+            sigs.append(sig)
+        return sigs
+
+    @staticmethod
+    def _extras_digest(overlay: dict[str, tuple[np.ndarray, np.ndarray]]) -> int:
+        h = hashlib.blake2b(digest_size=8)
+        for name in sorted(overlay):
+            idx, vals = overlay[name]
+            h.update(name.encode())
+            h.update(idx.tobytes())
+            h.update(vals.tobytes())
+        return int.from_bytes(h.digest(), "little")
 
     def image_meta(self, k: int) -> tuple[int, int, str, dict[str, float]]:
         """``(counter, iteration, region, rates)`` of crash image ``k``."""
@@ -324,12 +377,18 @@ class GoldenStore:
                 views[name] = v
             spent += time.perf_counter() - t0
             prev = -1
+            undo: list[tuple[str, np.ndarray, np.ndarray]] = []
             for k in idx_list:
                 if not prev < k < self.n_images:
                     raise IndexError(
                         f"snapshot indices must be strictly ascending and < {self.n_images}"
                     )
                 t0 = time.perf_counter()
+                # Undo the previous image's survivor overlay before rolling
+                # forward: the delta prefix must patch pristine NVM bytes.
+                for name, uidx, saved in undo:
+                    cur[name][uidx] = saved
+                undo = []
                 for name in self._names:
                     hi = int(self._bounds[name][k + 1])
                     lo = pos[name]
@@ -338,6 +397,13 @@ class GoldenStore:
                         # under NumPy fancy assignment — event order.
                         cur[name][self._idx[name][lo:hi]] = self._vals[name][lo:hi]
                         pos[name] = hi
+                if self._extras is not None:
+                    for name, (eidx, evals) in self._extras.get(k, {}).items():
+                        buf = cur.get(name)
+                        if buf is None:
+                            continue
+                        undo.append((name, eidx, buf[eidx].copy()))
+                        buf[eidx] = evals
                 m = self._metas[k]
                 if copy:
                     state = {}

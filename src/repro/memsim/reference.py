@@ -18,7 +18,7 @@ import numpy as np
 from repro.memsim.config import CacheLevelConfig, HierarchyConfig
 from repro.memsim.rounds import iter_rounds_contiguous, iter_rounds_generic
 
-__all__ = ["ReferenceCache", "ReferenceHierarchy"]
+__all__ = ["ReferenceCache", "ReferenceHierarchy", "reference_survivor_plan"]
 
 
 class ReferenceCache:
@@ -188,3 +188,54 @@ class ReferenceHierarchy:
         for lv in self.levels:
             dirty.update(lv.resident_dirty_blocks())
         return sorted(dirty)
+
+
+def reference_survivor_plan(
+    name: str,
+    params: dict[str, int],
+    dirty_blocks: list[int],
+    store_seq: list[int],
+    rng: np.random.Generator,
+) -> tuple[list[int], tuple[int, int] | None]:
+    """One-element-at-a-time mirror of
+    :meth:`repro.memsim.crashmodel.CrashModel.survivor_plan` — the
+    per-model ground truth for the property tests.
+
+    Takes ``(model name, params, dirty block ids, aligned store sequence
+    numbers, rng)`` and returns ``(blocks persisted in full, optional
+    (in-flight block, surviving prefix bytes))``.  The rng draw schedule
+    matches the vectorized implementation exactly: one ``integers`` draw,
+    made only by the tearing models and only when an in-flight block
+    exists.
+    """
+    from repro.memsim.blocks import BLOCK_SIZE
+
+    pairs = sorted(zip(dirty_blocks, store_seq))
+    inflight = -1
+    best_seq = 0
+    for block, seq in pairs:
+        if seq > 0 and (seq, block) >= (best_seq, inflight):
+            best_seq, inflight = seq, block
+
+    def torn_prefix(granularity: int) -> int:
+        n_granules = BLOCK_SIZE // granularity
+        return int(rng.integers(0, n_granules + 1)) * granularity
+
+    if name == "whole-cache-loss":
+        return [], None
+    if name == "adr":
+        wpq = params["wpq"]
+        rest = sorted(
+            ((seq, block) for block, seq in pairs if block != inflight), reverse=True
+        )
+        return sorted(block for _seq, block in rest[:wpq]), None
+    if name == "eadr":
+        full = sorted(block for block, _seq in pairs if block != inflight)
+        if inflight < 0:
+            return full, None
+        return full, (inflight, torn_prefix(params["granularity"]))
+    if name == "torn":
+        if inflight < 0:
+            return [], None
+        return [], (inflight, torn_prefix(params["granularity"]))
+    raise ValueError(f"unknown crash model {name!r}")

@@ -115,6 +115,11 @@ class CampaignConfig:
     # Simulated cores: 1 uses the standard hierarchy; >1 uses the MESI-lite
     # multi-core model (applications may shard work with on_core()).
     n_cores: int = 1
+    # Crash model (repro.memsim.crashmodel spec string): what survives a
+    # failure besides the NVM image.  The default is the paper's
+    # whole-cache-loss; "adr", "eadr" and "torn" model residual-energy
+    # persistence domains and torn multi-word stores.
+    crash_model: str = "whole-cache-loss"
 
 
 @dataclass
@@ -150,6 +155,9 @@ class CampaignResult:
     #: campaign loaded from disk — the field is an execution statistic,
     #: not part of the result's content).
     executed_trials: int | None = None
+    #: canonical crash-model spec the campaign ran under (default:
+    #: the paper's whole-cache-loss).
+    crash_model: str = "whole-cache-loss"
 
     # -- headline metrics ---------------------------------------------------
     #
@@ -408,6 +416,8 @@ def _instrumented_run(
             crash_points=crash_points,
             capture_consistent=cfg.verified_mode,
             golden=golden,
+            crash_model=cfg.crash_model,
+            crash_seed=cfg.seed,
         )
     reg = registry()
     listener = None
@@ -554,6 +564,17 @@ def run_campaign(
                 "a pruned crash plan requires the golden-pass engine: "
                 "single-core, non-verified, and not --no-golden"
             )
+    from repro.memsim.crashmodel import get_model
+
+    crash_model = get_model(cfg.crash_model)
+    if not crash_model.is_default and (cfg.n_cores > 1 or cfg.verified_mode):
+        from repro.errors import UsageError
+
+        raise UsageError(
+            f"crash model {crash_model.spec!r} requires a single-core, "
+            "non-verified campaign (whole-cache-loss is the only model the "
+            "multi-core and verified paths support)"
+        )
     reg = registry()
     tracer = reg.tracer if reg is not None else None
     with maybe_span(tracer, "campaign", app=factory.name, tests=cfg.n_tests):
@@ -699,4 +720,5 @@ def run_campaign(
         run_stats=_run_stats(rt, iterations),
         golden_iterations=golden_result.iterations,
         executed_trials=len(list(to_run)),
+        crash_model=crash_model.spec,
     )

@@ -56,8 +56,9 @@ def campaign_header(factory: "AppFactory", cfg: "CampaignConfig") -> dict:
     """The header line identifying one campaign's journal."""
     from repro.harness.cache import campaign_key  # lazy: avoids a package cycle
     from repro.harness.store import created_at, store_git_sha
+    from repro.memsim.crashmodel import get_model
 
-    return {
+    header = {
         "kind": "header",
         "format": JOURNAL_FORMAT_VERSION,
         "app": factory.name,
@@ -67,6 +68,12 @@ def campaign_header(factory: "AppFactory", cfg: "CampaignConfig") -> dict:
         "git_sha": store_git_sha(),
         "created_at": created_at(),
     }
+    model = get_model(cfg.crash_model)
+    if not model.is_default:
+        # Informational (the key above already pins the model); omitted at
+        # the default so historical journals stay resumable byte for byte.
+        header["crash_model"] = model.spec
+    return header
 
 
 def scan_journal(raw: bytes) -> tuple[dict | None, list[tuple[dict, int]], int]:

@@ -265,6 +265,8 @@ class Runtime(CountingRuntime):
         crash_points: np.ndarray | list[int] | None = None,
         capture_consistent: bool = False,
         golden: bool = False,
+        crash_model: "str | None" = None,
+        crash_seed: int = 0,
     ) -> None:
         super().__init__()
         self.hierarchy_config = hierarchy or HierarchyConfig.scaled_llc()
@@ -273,6 +275,20 @@ class Runtime(CountingRuntime):
         self.crash_points = pts
         self._cp_i = 0
         self.capture_consistent = capture_consistent
+        # Crash model (repro.memsim.crashmodel): None / the default keeps
+        # the legacy whole-cache-loss path bit-identical and free — store
+        # sequence numbers are only tracked for a non-default model with
+        # crash points scheduled.
+        self.crash_seed = int(crash_seed)
+        self._crash_model = None
+        if crash_model is not None and pts.size > 0:
+            from repro.memsim.crashmodel import get_model
+
+            model = get_model(crash_model)
+            if not model.is_default:
+                self._crash_model = model
+        self._store_seq_arr: np.ndarray | None = None
+        self._store_seq = 0
         # Golden mode: record write-back deltas instead of materializing a
         # full snapshot at every crash point (repro.memsim.golden).  The
         # verified methodology needs crash-time *architectural* copies,
@@ -416,21 +432,93 @@ class Runtime(CountingRuntime):
             return int(self.crash_points[self._cp_i])
         return None
 
+    def _mark_stored(self, b0: int, b1: int) -> None:
+        """Stamp a contiguous stored block range with fresh sequence
+        numbers (crash-model WPQ / in-flight tracking; no-op without an
+        active model)."""
+        if self._crash_model is None or b1 <= b0:
+            return
+        arr = self._seq_array(b1)
+        n = b1 - b0
+        arr[b0:b1] = np.arange(self._store_seq + 1, self._store_seq + 1 + n)
+        self._store_seq += n
+
+    def _mark_stored_blocks(self, blocks: np.ndarray) -> None:
+        if self._crash_model is None or blocks.size == 0:
+            return
+        arr = self._seq_array(int(blocks.max()) + 1)
+        n = int(blocks.size)
+        # Fancy assignment: the last occurrence of a duplicate block wins,
+        # matching store order.
+        arr[blocks] = np.arange(self._store_seq + 1, self._store_seq + 1 + n)
+        self._store_seq += n
+
+    def _seq_array(self, needed: int) -> np.ndarray:
+        arr = self._store_seq_arr
+        heap = self.heap
+        size = max(needed, heap.total_blocks() if heap is not None else 0)
+        if arr is None or arr.size < size:
+            grown = np.zeros(size, dtype=np.int64)
+            if arr is not None:
+                grown[: arr.size] = arr
+            self._store_seq_arr = arr = grown
+        return arr
+
+    def _model_survivors(self) -> dict[str, tuple[np.ndarray, np.ndarray, int]] | None:
+        """Survivor overlays of the active crash model at the current
+        crash point: ``{name: (byte_idx, values, fixed)}`` where ``fixed``
+        counts overlay bytes that differ from the NVM image (i.e. bytes
+        the model repairs, for exact rate adjustment)."""
+        model = self._crash_model
+        if model is None:
+            return None
+        from repro.util.rng import derive_rng
+
+        heap, hier = self._require()
+        rng = derive_rng(self.crash_seed, "crash-model", model.spec, self.counter)
+        seq = self._seq_array(heap.total_blocks())
+        out: dict[str, tuple[np.ndarray, np.ndarray, int]] = {}
+        for name, (idx, vals) in model.survivor_overlays(heap, hier, seq, rng).items():
+            obj = heap.objects[name]
+            fixed = int(np.count_nonzero(vals != obj.nvm_bytes[idx]))
+            out[name] = (idx, vals, fixed)
+        return out
+
     def _take_snapshot(self) -> None:
         heap, _ = self._require()
+        extras = self._model_survivors()
         if self._golden_recorder is not None:
             # Golden pass: metadata + incrementally maintained rates only;
-            # the NVM image is reconstructed later from write-back deltas.
-            self._golden_recorder.take(self.counter, self.iteration, self.current_region)
+            # the NVM image is reconstructed later from write-back deltas
+            # (plus the crash model's survivor overlay, if any).
+            self._golden_recorder.take(
+                self.counter, self.iteration, self.current_region, extras=extras
+            )
             self._cp_i += 1
             return
+        nvm_state = heap.snapshot_nvm()
+        if extras is not None:
+            for name, (idx, vals, _fixed) in extras.items():
+                state = nvm_state.get(name)
+                if state is not None:
+                    state[idx] = vals
+            rates = {
+                o.name: (
+                    float(np.count_nonzero(o.data_bytes != nvm_state[o.name]) / o.nbytes)
+                    if o.nbytes
+                    else 0.0
+                )
+                for o in heap.candidates()
+            }
+        else:
+            rates = heap.inconsistent_rates()
         snap = Snapshot(
             index=len(self.snapshots),
             counter=self.counter,
             iteration=self.iteration,
             region=self.current_region,
-            nvm_state=heap.snapshot_nvm(),
-            rates=heap.inconsistent_rates(),
+            nvm_state=nvm_state,
+            rates=rates,
             consistent_state=heap.snapshot_consistent() if self.capture_consistent else None,
         )
         self.snapshots.append(snap)
@@ -486,6 +574,7 @@ class Runtime(CountingRuntime):
             fast_assign()
             if n and (rec := self._golden_recorder) is not None:
                 rec.on_store(obj, byte_lo, byte_hi)
+            self._mark_stored(b0, b1)
             if n:
                 self._do_access(b0, b1, write=True)
             self.counter += n
@@ -499,6 +588,7 @@ class Runtime(CountingRuntime):
             fast_assign()
             if n and (rec := self._golden_recorder) is not None:
                 rec.on_store(obj, byte_lo, byte_hi)
+            self._mark_stored(b0, b1)
             if n:
                 self._do_access(b0, b1, write=True)
             self.counter = end
@@ -521,6 +611,8 @@ class Runtime(CountingRuntime):
             obj.data_bytes[pos:cut] = src[pos - byte_lo : cut - byte_lo]
             if cut > pos and (rec := self._golden_recorder) is not None:
                 rec.on_store(obj, pos, cut)
+            if cut > pos:
+                self._mark_stored(*obj.block_range_of_bytes(pos, cut))
             if blocks_done:
                 self._do_access(rb0, rb0 + blocks_done, write=True)
             self.counter += blocks_done
@@ -554,6 +646,8 @@ class Runtime(CountingRuntime):
             apply_op()
             if write and n and (rec := self._golden_recorder) is not None:
                 rec.on_store_blocks(obj, blocks)
+        if write and n and not nontemporal:
+            self._mark_stored_blocks(np.asarray(blocks, dtype=np.int64))
         if n:
             if nontemporal and write:
                 self._do_nt_store(blocks)

@@ -154,7 +154,7 @@ def record_from_dict(r: dict) -> CrashTestRecord:
 
 def campaign_to_dict(result: CampaignResult) -> dict:
     """JSON-compatible dict of a full campaign (the file format)."""
-    return {
+    doc = {
         "format": FORMAT_VERSION,
         "app": result.app,
         "golden_iterations": result.golden_iterations,
@@ -162,6 +162,12 @@ def campaign_to_dict(result: CampaignResult) -> dict:
         "records": [record_to_dict(r) for r in result.records],
         "run_stats": run_stats_to_dict(result.run_stats),
     }
+    # Omit-if-default, like record weights: campaigns under the paper's
+    # whole-cache-loss model keep the historical document shape byte for
+    # byte.
+    if result.crash_model != "whole-cache-loss":
+        doc["crash_model"] = result.crash_model
+    return doc
 
 
 def campaign_from_dict(doc: dict) -> CampaignResult:
@@ -174,6 +180,7 @@ def campaign_from_dict(doc: dict) -> CampaignResult:
         records=records,
         run_stats=run_stats_from_dict(doc["run_stats"]),
         golden_iterations=int(doc["golden_iterations"]),
+        crash_model=str(doc.get("crash_model", "whole-cache-loss")),
     )
 
 
@@ -242,6 +249,7 @@ def _pack_array(a: np.ndarray) -> dict:
     if (ch := injector()) is not None:
         data = ch.truncate("serialize.pack", data)
         data = ch.bitflip("serialize.pack", data)
+        data = ch.torn_writeback("serialize.pack", data)
     return {"dtype": str(a.dtype), "shape": list(a.shape), "data": data, "crc32": checksum}
 
 

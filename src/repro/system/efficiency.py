@@ -23,11 +23,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:
+    from repro.checkpoint.multilevel import CorrelatedFailureProcess
 
 __all__ = [
     "SystemParams",
     "efficiency_baseline",
+    "efficiency_baseline_under",
     "efficiency_easycrash",
+    "efficiency_easycrash_under",
+    "efficiency_by_crash_model",
     "efficiency_improvement",
     "recomputability_threshold",
 ]
@@ -98,6 +105,86 @@ def efficiency_easycrash(p: SystemParams, recomputability: float, ts: float) -> 
 def efficiency_improvement(p: SystemParams, recomputability: float, ts: float) -> float:
     """Absolute efficiency gain of EasyCrash over plain C/R."""
     return efficiency_easycrash(p, recomputability, ts) - efficiency_baseline(p)
+
+
+# -- emulated failure schedules (correlated arrivals) --------------------------
+#
+# Eqs. 6-9 take the crash count as its Poisson expectation M = Total/MTBF.
+# The *_under variants replace that expectation with the crash count of a
+# sampled CorrelatedFailureProcess schedule, so burst-correlated failures
+# (which the closed form cannot express) feed the same algebra.  At
+# correlation 0 and a long horizon they converge to the closed forms.
+
+
+def _failures_over(p: SystemParams, process: "CorrelatedFailureProcess") -> float:
+    return float(process.arrivals(p.total_time_s).size)
+
+
+def efficiency_baseline_under(
+    p: SystemParams, process: "CorrelatedFailureProcess"
+) -> float:
+    """Eq. 6 with ``M`` drawn from an emulated failure schedule."""
+    t = p.young_interval()
+    m = _failures_over(p, process)
+    recovery = m * (t / 2.0 + p.t_restore + p.t_sync)
+    n = (p.total_time_s - recovery) / (t + p.t_chk_s)
+    useful = max(0.0, n * t)
+    return min(1.0, useful / p.total_time_s)
+
+
+def efficiency_easycrash_under(
+    p: SystemParams,
+    recomputability: float,
+    ts: float,
+    process: "CorrelatedFailureProcess",
+) -> float:
+    """Eqs. 8-9 with ``M`` drawn from an emulated failure schedule.
+
+    The checkpoint interval still uses the *nominal* MTBF (the schedule
+    is not known in advance), which is exactly why correlated bursts
+    hurt: the system checkpoints as if failures were Poisson."""
+    if recomputability >= 1.0:
+        recomputability = 1.0 - 1e-9
+    if not 0.0 <= recomputability < 1.0:
+        raise ValueError("recomputability must be in [0, 1)")
+    if not 0.0 <= ts < 1.0:
+        raise ValueError("ts must be in [0, 1)")
+    mtbf_ec = p.mtbf_s / (1.0 - recomputability)
+    t_prime = p.young_interval(mtbf_ec)
+    m = _failures_over(p, process)
+    m_rollback = m * (1.0 - recomputability)
+    m_recompute = m * recomputability
+    recovery = m_rollback * (t_prime / 2.0 + p.t_restore + p.t_sync)
+    recovery += m_recompute * (p.t_r_nvm_s + p.t_sync)
+    n = (p.total_time_s - recovery) / (t_prime + p.t_chk_s)
+    useful = max(0.0, n * t_prime) * (1.0 - ts)
+    return min(1.0, useful / p.total_time_s)
+
+
+def efficiency_by_crash_model(
+    p: SystemParams,
+    recomputability_by_model: Mapping[str, float],
+    ts: float,
+    process: "CorrelatedFailureProcess | None" = None,
+) -> dict[str, float]:
+    """EasyCrash efficiency per crash model (Sec. 7 consuming the
+    crash-model ablation).
+
+    ``recomputability_by_model`` maps a crash-model spec to the
+    application recomputability measured under it (e.g. via
+    :func:`repro.core.model.application_recomputability_by_model`);
+    with ``process`` the emulated-schedule variant is used instead of
+    the closed form.
+    """
+    if process is None:
+        return {
+            model: efficiency_easycrash(p, r, ts)
+            for model, r in recomputability_by_model.items()
+        }
+    return {
+        model: efficiency_easycrash_under(p, r, ts, process)
+        for model, r in recomputability_by_model.items()
+    }
 
 
 def efficiency_at_interval(p: SystemParams, interval_s: float) -> float:

@@ -1,0 +1,80 @@
+"""Correlated failure-arrival process (Sec. 7 emulated schedules)."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.multilevel import CorrelatedFailureProcess
+from repro.system.mtbf import HOUR, mtbf_for_nodes
+
+HORIZON = 365 * 24 * 3600.0  # one year
+
+
+def test_arrivals_deterministic():
+    p = CorrelatedFailureProcess(mtbf_s=6 * HOUR, correlation=0.3, seed=5)
+    a = p.arrivals(HORIZON)
+    b = p.arrivals(HORIZON)
+    assert np.array_equal(a, b)
+
+
+def test_arrivals_sorted_within_horizon():
+    p = CorrelatedFailureProcess(mtbf_s=3 * HOUR, correlation=0.5, seed=1)
+    a = p.arrivals(HORIZON)
+    assert np.all(np.diff(a) >= 0)
+    assert a.size == 0 or (a[0] >= 0 and a[-1] < HORIZON)
+
+
+def test_uncorrelated_rate_matches_mtbf():
+    """At correlation 0 the arrival count over a long horizon is the
+    Poisson expectation, within sampling noise."""
+    p = CorrelatedFailureProcess(mtbf_s=6 * HOUR, seed=2)
+    n = p.arrivals(HORIZON).size
+    expected = HORIZON / (6 * HOUR)
+    assert abs(n - expected) < 0.1 * expected
+    assert p.effective_mtbf(HORIZON) == pytest.approx(6 * HOUR, rel=0.1)
+
+
+def test_correlation_inflates_arrival_count():
+    """Bursts are extra failures: the expected count inflates by
+    ``1/(1 - correlation)``."""
+    base = CorrelatedFailureProcess(mtbf_s=6 * HOUR, seed=3)
+    burst = CorrelatedFailureProcess(mtbf_s=6 * HOUR, correlation=0.5, seed=3)
+    n0 = base.arrivals(HORIZON).size
+    n1 = burst.arrivals(HORIZON).size
+    assert n1 > n0
+    assert n1 == pytest.approx(n0 / (1.0 - 0.5), rel=0.15)
+    assert burst.effective_mtbf(HORIZON) < base.effective_mtbf(HORIZON)
+
+
+def test_burst_followups_land_near_primaries():
+    p = CorrelatedFailureProcess(
+        mtbf_s=12 * HOUR, correlation=0.8, burst_window_s=60.0, seed=7
+    )
+    gaps = np.diff(p.arrivals(HORIZON))
+    # With an 0.8 correlation most arrivals are follow-ups within a tiny
+    # window; the gap distribution must be strongly bimodal.
+    assert np.median(gaps) < 600.0 < np.mean(gaps)
+
+
+def test_for_nodes_scenarios():
+    assert CorrelatedFailureProcess.for_nodes(100_000).mtbf_s == pytest.approx(
+        mtbf_for_nodes(100_000)
+    )
+    assert CorrelatedFailureProcess.for_nodes(400_000).mtbf_s == pytest.approx(3 * HOUR)
+    p = CorrelatedFailureProcess.for_nodes(200_000, correlation=0.25, seed=9)
+    assert p.correlation == 0.25 and p.seed == 9
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CorrelatedFailureProcess(mtbf_s=0.0)
+    with pytest.raises(ValueError):
+        CorrelatedFailureProcess(mtbf_s=1.0, correlation=1.0)
+    with pytest.raises(ValueError):
+        CorrelatedFailureProcess(mtbf_s=1.0, burst_window_s=0.0)
+    with pytest.raises(ValueError):
+        CorrelatedFailureProcess(mtbf_s=1.0).arrivals(0.0)
+
+
+def test_no_failures_gives_infinite_effective_mtbf():
+    p = CorrelatedFailureProcess(mtbf_s=1e12, seed=0)
+    assert p.effective_mtbf(1.0) == float("inf")

@@ -62,3 +62,18 @@ def test_eq5_bounds_property(ck, ckm, x):
 def test_eq1_bounded_by_total_share(shares, c):
     y = application_recomputability(shares, c)
     assert 0.0 <= y <= sum(shares.values()) + 1e-9
+
+
+def test_eq1_by_crash_model():
+    from repro.core.model import application_recomputability_by_model
+
+    shares = {"a": 0.6, "b": 0.4}
+    c_by_model = {
+        "whole-cache-loss": {"a": 0.5, "b": 0.0},
+        "eadr:granularity=8": {"a": 1.0, "b": 0.9},
+    }
+    out = application_recomputability_by_model(shares, c_by_model)
+    assert out == {
+        "whole-cache-loss": pytest.approx(0.3),
+        "eadr:granularity=8": pytest.approx(0.96),
+    }

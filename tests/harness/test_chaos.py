@@ -183,3 +183,39 @@ def test_os_error_write_abandons_store_cleanly(tmp_path):
     assert cache.stats()["store_errors"] == 1
     assert not list((tmp_path / "store").rglob("*.tmp"))  # temp unlinked
     assert not list((tmp_path / "store").rglob("*.json"))  # nothing published
+
+
+def test_torn_writeback_helper():
+    ch = ChaosInjector(11, 1.0, kinds=["torn_writeback"])
+    data = bytes(range(256))
+    torn = ch.torn_writeback("site", data)
+    assert len(torn) == len(data)
+    assert torn != data
+    # Damage is confined to the zeroed suffix of exactly one 64-byte line.
+    diffs = [i for i in range(len(data)) if torn[i] != data[i]]
+    lines = {i // 64 for i in diffs}
+    assert len(lines) == 1
+    line = lines.pop()
+    lo, hi = line * 64, min(line * 64 + 64, len(data))
+    cut = min(diffs)
+    assert (cut - lo) % 8 == 0  # granularity-aligned tear point
+    assert torn[cut:hi] == b"\x00" * (hi - cut)
+    assert torn[:cut] == data[:cut] and torn[hi:] == data[hi:]
+    # Deterministic: same injector state tears identically.
+    assert ChaosInjector(11, 1.0).torn_writeback("site", data) == torn
+    assert ch.injected["torn_writeback"] >= 1
+
+
+def test_torn_writeback_caught_by_snapshot_crc():
+    import numpy as np
+
+    from repro.errors import SnapshotCorruptError
+    from repro.nvct.serialize import _pack_array, _unpack_array
+
+    chaos.enable(23, 1.0, kinds=["torn_writeback"])
+    try:
+        packed = _pack_array(np.arange(64, dtype=np.float64) + 1.0)
+    finally:
+        chaos.disable()
+    with pytest.raises(SnapshotCorruptError, match="checksum"):
+        _unpack_array(packed)

@@ -147,3 +147,71 @@ def test_efficiency_at_young_matches_baseline():
     assert efficiency_at_interval(p, p.young_interval()) == pytest.approx(
         efficiency_baseline(p)
     )
+
+
+# -- emulated failure schedules (correlated arrivals) --------------------------
+
+
+def test_under_converges_to_closed_form_at_zero_correlation():
+    from repro.checkpoint.multilevel import CorrelatedFailureProcess
+    from repro.system.efficiency import (
+        efficiency_baseline_under,
+        efficiency_easycrash_under,
+    )
+
+    p = params(t_chk=320.0)
+    # Long horizon: the sampled count concentrates on the expectation.
+    process = CorrelatedFailureProcess(mtbf_s=p.mtbf_s, seed=11)
+    assert efficiency_baseline_under(p, process) == pytest.approx(
+        efficiency_baseline(p), abs=0.01
+    )
+    assert efficiency_easycrash_under(p, 0.8, 0.05, process) == pytest.approx(
+        efficiency_easycrash(p, 0.8, 0.05), abs=0.01
+    )
+
+
+def test_correlated_bursts_reduce_efficiency():
+    from repro.checkpoint.multilevel import CorrelatedFailureProcess
+    from repro.system.efficiency import (
+        efficiency_baseline_under,
+        efficiency_easycrash_under,
+    )
+
+    p = params(t_chk=3200.0, mtbf=3 * HOUR)
+    calm = CorrelatedFailureProcess(mtbf_s=p.mtbf_s, seed=4)
+    bursty = CorrelatedFailureProcess(mtbf_s=p.mtbf_s, correlation=0.5, seed=4)
+    assert efficiency_baseline_under(p, bursty) < efficiency_baseline_under(p, calm)
+    assert efficiency_easycrash_under(p, 0.8, 0.05, bursty) < efficiency_easycrash_under(
+        p, 0.8, 0.05, calm
+    )
+
+
+def test_under_validates_inputs():
+    from repro.checkpoint.multilevel import CorrelatedFailureProcess
+    from repro.system.efficiency import efficiency_easycrash_under
+
+    p = params()
+    process = CorrelatedFailureProcess(mtbf_s=p.mtbf_s, seed=0)
+    with pytest.raises(ValueError):
+        efficiency_easycrash_under(p, -0.1, 0.05, process)
+    with pytest.raises(ValueError):
+        efficiency_easycrash_under(p, 0.8, 1.5, process)
+
+
+def test_efficiency_by_crash_model():
+    from repro.checkpoint.multilevel import CorrelatedFailureProcess
+    from repro.system.efficiency import efficiency_by_crash_model
+
+    p = params(t_chk=320.0)
+    by_model = {"whole-cache-loss": 0.5, "adr:wpq=64": 0.7, "eadr:granularity=8": 0.95}
+    eff = efficiency_by_crash_model(p, by_model, ts=0.05)
+    assert set(eff) == set(by_model)
+    # More survives => higher recomputability => higher efficiency.
+    assert eff["whole-cache-loss"] <= eff["adr:wpq=64"] <= eff["eadr:granularity=8"]
+    for model, r in by_model.items():
+        assert eff[model] == pytest.approx(efficiency_easycrash(p, r, 0.05))
+    # Under an emulated schedule the dispatch switches to the *_under form.
+    process = CorrelatedFailureProcess(mtbf_s=p.mtbf_s, correlation=0.4, seed=2)
+    under = efficiency_by_crash_model(p, by_model, ts=0.05, process=process)
+    assert under["eadr:granularity=8"] >= under["whole-cache-loss"]
+    assert under["whole-cache-loss"] < eff["whole-cache-loss"]

@@ -161,6 +161,17 @@ SECTIONS: list[tuple[str, str, str]] = [
         "law (uniform, early-biased, late-biased).",
     ),
     (
+        "ablation_crash_model",
+        "Ablation — crash model (persistence domain)",
+        "Extension: inconsistent rate by application under each crash model\n"
+        "(`repro.memsim.crashmodel`): the paper's whole-cache-loss, a bounded\n"
+        "ADR write-pending queue, eADR full-cache flush-on-failure, and torn\n"
+        "multi-word stores.  Survivor overlays guarantee\n"
+        "eadr <= adr <= whole-cache-loss exactly, per crash point and object;\n"
+        "the table shows how much of the paper's inconsistency is attributable\n"
+        "to the persistence-domain assumption itself.",
+    ),
+    (
         "ablation_flush_instruction",
         "Ablation — CLWB vs CLFLUSHOPT",
         "Extension: equal protection, different cost — the invalidating flush\n"
@@ -380,12 +391,12 @@ configurations the test suite uses):
     return header + "\n" + table
 
 
-def main() -> int:
-    if not RESULTS.exists():
-        print("no benchmarks/results/ — run the benchmark suite first", file=sys.stderr)
-        return 1
+def _render_sections(missing: list[str]) -> list[str]:
+    """HEADER plus the artifact-derived section blocks — the part of the
+    document that is a pure function of the committed ``benchmarks/results/``
+    artifacts (the live/perf sections below it depend on local BENCH files
+    and runtime state and are excluded from the drift check)."""
     parts = [HEADER]
-    missing = []
     for stem, title, commentary in SECTIONS:
         path = RESULTS / f"{stem}.txt"
         parts.append(f"## {title}\n")
@@ -398,6 +409,51 @@ def main() -> int:
         else:
             missing.append(stem)
             parts.append("*(artifact missing — rerun the benchmark suite)*\n")
+    return parts
+
+
+def check() -> int:
+    """Drift gate: the committed EXPERIMENTS.md must start with exactly
+    the text this script would generate from the committed artifacts."""
+    expected = "\n".join(_render_sections([]))
+    try:
+        actual = TARGET.read_text(encoding="utf-8")
+    except OSError:
+        print("EXPERIMENTS.md is missing — run tools/build_experiments_md.py", file=sys.stderr)
+        return 1
+    if actual.startswith(expected):
+        print(f"{TARGET.name} is in sync with benchmarks/results/ ({len(SECTIONS)} sections)")
+        return 0
+    # Point at the first diverging line to make the failure actionable.
+    exp_lines = expected.splitlines()
+    act_lines = actual.splitlines()
+    for i, (e, a) in enumerate(zip(exp_lines, act_lines), start=1):
+        if e != a:
+            print(
+                f"EXPERIMENTS.md drifted from the generator at line {i}:\n"
+                f"  committed: {a!r}\n"
+                f"  generated: {e!r}",
+                file=sys.stderr,
+            )
+            break
+    else:
+        print(
+            f"EXPERIMENTS.md is shorter than the generated prefix "
+            f"({len(act_lines)} < {len(exp_lines)} lines)",
+            file=sys.stderr,
+        )
+    print("re-run: python tools/build_experiments_md.py (after the benchmark suite)", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    if not RESULTS.exists():
+        print("no benchmarks/results/ — run the benchmark suite first", file=sys.stderr)
+        return 1
+    if "--check" in sys.argv[1:]:
+        return check()
+    missing: list[str] = []
+    parts = _render_sections(missing)
     parts.append(_chaos_section())
     parts.append(_golden_section())
     parts.append(_equivalence_section())
