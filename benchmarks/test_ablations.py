@@ -219,3 +219,66 @@ def test_ablation_crash_model(benchmark, ctx, results_dir):
         assert torn <= wcl + 1e-12, (app, torn, wcl)
         # A surviving persistence domain cannot hurt recomputability.
         assert row[6] >= row[5] - 1e-12, (app, row[5], row[6])
+
+
+def test_recovery_mix(benchmark, ctx, results_dir):
+    """Multi-node recovery mix: how often a crashed node restarts from its
+    NVM image (acceptance S1/S2) vs rolling the cluster back to the last
+    checkpoint, per burst size and crash model.  MG is the interesting
+    application here — its measured responses genuinely mix S1 and S4, so
+    the orchestrator exercises both paths."""
+    from repro.cluster.emulator import run_cluster_campaign
+    from repro.system.efficiency import SystemParams, efficiency_measured_multinode
+    from repro.system.mtbf import HOUR
+
+    def run():
+        name = "MG"
+        nodes = 4
+        p = SystemParams(mtbf_s=12 * HOUR, t_chk_s=320.0)
+        rows = []
+        for model in ("whole-cache-loss", "adr", "eadr"):
+            cfg = CampaignConfig(
+                n_tests=ctx.settings.n_tests,
+                seed=ctx.settings.seed + 1,
+                plan=PersistencePlan.none(),
+                crash_model=model,
+                nodes=nodes,
+                correlation=0.3,
+            )
+            result = run_cluster_campaign(ctx.factory(name), cfg)
+            mix = result.log.mix()
+            decided = mix["nvm_restart"] + mix["rollback"]
+            r = mix["nvm_restart"] / decided if decided else 0.0
+            eff = efficiency_measured_multinode(p, mix, 0.015, nodes)
+            for k, row in result.log.by_burst_size().items():
+                rows.append(
+                    [model, k, row["bursts"], row["nvm_restart"],
+                     row["rollback"], row["peers_rewound"], "", ""]
+                )
+            rows.append(
+                [model, "all", len(result.log.bursts), mix["nvm_restart"],
+                 mix["rollback"], sum(b.peers_rewound for b in result.log.bursts),
+                 r, eff]
+            )
+        return ExperimentReport(
+            "Recovery mix",
+            f"MG on {nodes} emulated nodes, correlation 0.3: NVM restart vs "
+            "checkpoint rollback per burst size and crash model",
+            ["Crash model", "Burst size", "Bursts", "NVM restarts",
+             "Rollbacks", "Peers rewound", "Measured R", "Efficiency"],
+            rows,
+            notes="R = NVM-restart fraction of recovery decisions; efficiency "
+            "via efficiency_measured_multinode (T_chk=320 s, MTBF 12 h, ts=1.5%)",
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(report, results_dir)
+    totals = {r[0]: r for r in report.rows if r[1] == "all"}
+    assert set(totals) == {"whole-cache-loss", "adr", "eadr"}
+    for model, row in totals.items():
+        # every victim got exactly one decision, and MG mixes both kinds
+        assert row[3] + row[4] > 0, model
+        assert 0.0 <= row[6] <= 1.0 and 0.0 <= row[7] <= 1.0, model
+    assert totals["whole-cache-loss"][4] > 0  # rollbacks happen under wcl
+    # A friendlier persistence domain can only help the restart fraction.
+    assert totals["eadr"][6] >= totals["whole-cache-loss"][6] - 1e-12

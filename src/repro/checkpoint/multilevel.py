@@ -111,6 +111,26 @@ class CorrelatedFailureProcess:
                 out.append(follow)
         return np.sort(np.asarray(out, dtype=np.float64))
 
+    def bursts(self, horizon_s: float) -> list[np.ndarray]:
+        """The arrivals grouped into correlated bursts.
+
+        Two consecutive failures belong to the same burst when they are
+        at most ``burst_window_s`` apart — the grouping the cluster
+        emulator (:mod:`repro.cluster.emulator`) turns into simultaneous
+        multi-node crashes.  Deterministic for a fixed ``horizon_s``
+        (it is a pure view over :meth:`arrivals`).
+        """
+        times = self.arrivals(horizon_s)
+        groups: list[np.ndarray] = []
+        start = 0
+        for i in range(1, times.size):
+            if float(times[i] - times[i - 1]) > self.burst_window_s:
+                groups.append(times[start:i])
+                start = i
+        if times.size:
+            groups.append(times[start:])
+        return groups
+
     def effective_mtbf(self, horizon_s: float) -> float:
         """Empirical MTBF of the sampled schedule (``horizon / count``);
         equals ``mtbf_s`` in expectation at ``correlation == 0`` and

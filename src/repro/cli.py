@@ -171,6 +171,41 @@ def build_parser() -> argparse.ArgumentParser:
         "torn[:granularity=G] (a seeded prefix of the in-flight store "
         "persists)",
     )
+    c.add_argument(
+        "--nodes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="emulated cluster size: shard the campaign across N nodes, "
+        "each with its own cache hierarchy and NVM survivor overlay, and "
+        "drive crashes from a correlated burst schedule (repro.cluster); "
+        "--tests counts total node crashes across the cluster",
+    )
+    c.add_argument(
+        "--correlation",
+        type=float,
+        default=0.0,
+        metavar="C",
+        help="failure correlation in [0, 1): each crash spawns a "
+        "correlated follow-up with probability C, so one burst can take "
+        "down several nodes at the same instant (default 0)",
+    )
+    c.add_argument(
+        "--burst-window",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="emulated-time window grouping correlated failures into one "
+        "burst (default 600)",
+    )
+    c.add_argument(
+        "--recovery-log",
+        metavar="FILE",
+        default=None,
+        help="(multi-node) write the per-burst recovery-decision log "
+        "(NVM restart vs checkpoint rollback, coordinated-rollback "
+        "propagation) as JSON",
+    )
     _add_jobs_flag(c)
 
     p = sub.add_parser("plan", help="run the EasyCrash planning workflow")
@@ -385,6 +420,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cfg = CampaignConfig(
             n_tests=args.tests, seed=args.seed, plan=plan, n_cores=args.cores,
             crash_model=getattr(args, "crash_model", "whole-cache-loss"),
+            nodes=getattr(args, "nodes", 1),
+            correlation=getattr(args, "correlation", 0.0),
+            burst_window_s=getattr(args, "burst_window", 600.0),
         )
         retry = None
         if getattr(args, "max_retries", None) is not None:
@@ -392,6 +430,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
             retry = RetryPolicy(max_retries=args.max_retries)
         crash_plan = getattr(args, "crash_plan", None)
+        if cfg.nodes > 1 or cfg.correlation > 0.0:
+            return _cluster_campaign(args, factory, cfg, retry, crash_plan)
         if getattr(args, "until_stable", False):
             if getattr(args, "resume", None):
                 print("campaign: --resume is not supported with --until-stable "
@@ -444,6 +484,53 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 Path(stats_file).with_suffix(".trace.jsonl"), reg.tracer.to_records()
             )
             print(f"\nbench metrics: {out} ({len(records)} records; trace: {trace})")
+    return 0
+
+
+def _cluster_campaign(args, factory, cfg, retry, crash_plan) -> int:
+    """The multi-node leg of ``repro campaign`` (--nodes/--correlation)."""
+    from repro.cluster import run_cluster_campaign
+    from repro.cluster.report import cluster_summary, decision_log, recovery_mix_table
+
+    if getattr(args, "until_stable", False):
+        print("campaign: --until-stable is not supported with --nodes/"
+              "--correlation (the burst schedule covers a fixed campaign)",
+              file=sys.stderr)
+        return 2
+    if crash_plan:
+        print("campaign: --crash-plan is not supported with --nodes/"
+              "--correlation (plans cover single-node crash schedules)",
+              file=sys.stderr)
+        return 2
+    if args.cores > 1:
+        print("campaign: --cores > 1 is not supported with --nodes/"
+              "--correlation (each emulated node is one rank)",
+              file=sys.stderr)
+        return 2
+    result = run_cluster_campaign(
+        factory,
+        cfg,
+        journal=getattr(args, "resume", None),
+        retry=retry,
+        trial_timeout=getattr(args, "trial_timeout", None),
+        golden=False if getattr(args, "no_golden", False) else None,
+    )
+    if getattr(args, "save", None):
+        from repro.nvct.serialize import save_cluster_result
+
+        print(f"cluster campaign saved to {save_cluster_result(result, args.save)}")
+    if getattr(args, "recovery_log", None):
+        import json as _json
+
+        from repro.obs.export import write_text
+
+        out = write_text(args.recovery_log, _json.dumps(result.log.to_dict(), indent=1))
+        print(f"recovery log written to {out}")
+    print(cluster_summary(result))
+    print()
+    print(recovery_mix_table(result.log))
+    print()
+    print(decision_log(result.log))
     return 0
 
 

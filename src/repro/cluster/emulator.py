@@ -1,0 +1,374 @@
+"""Multi-node crash emulation: shard a campaign across emulated nodes.
+
+The :class:`ClusterEmulator` runs one crash-test campaign per emulated
+node — each node an SPMD replica of the application with its **own**
+cache hierarchy, golden-pass engine and crash-model survivor overlay
+(all reused verbatim from the single-node stack) — and drives the crash
+schedule from a :class:`~repro.checkpoint.multilevel.CorrelatedFailureProcess`
+so one burst can crash ``k`` nodes at the same instant.  Nodes crash at
+the same wall-clock burst but at *different* instruction counters (real
+SPMD ranks are never cycle-aligned), which is modeled by giving node
+``n`` its own deterministic crash-point schedule: the node-0 schedule is
+exactly the historical single-node one, so an N=1 cluster degenerates to
+the plain campaign **record for record**.
+
+Determinism contract: bursts, victim choices, per-node crash points,
+classifications and the recovery log are all pure functions of
+``(cfg.seed, topology, app)`` — a cluster campaign replays
+bit-identically from its seed, including across SIGKILL + ``--resume``
+(each node journals separately, see
+:func:`repro.cluster.topology.node_journal_path`).
+
+Node executions run under a :class:`NodeLease`: the ``node_death`` chaos
+kind (site ``cluster.node``) can kill a node mid-burst, the lease's
+retry policy re-runs the shard (deterministic, so the replay is
+bit-identical), and the shared circuit breaker turns a systematically
+dying cluster into a loud failure instead of an infinite retry loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.checkpoint.multilevel import CorrelatedFailureProcess
+from repro.cluster.recovery import RecoveryLog, RecoveryOrchestrator
+from repro.cluster.topology import ClusterTopology, node_journal_path
+from repro.errors import UsageError
+from repro.util.rng import derive_rng, derive_seed
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.apps.base import AppFactory
+    from repro.checkpoint.multilevel import MultiLevelCheckpointModel
+    from repro.harness.resilience import RetryPolicy
+    from repro.nvct.campaign import CampaignConfig, CampaignResult, CrashTestRecord
+
+__all__ = [
+    "BURST_MTBF_S",
+    "Burst",
+    "burst_schedule",
+    "trials_per_node",
+    "NodeLease",
+    "ClusterResult",
+    "ClusterEmulator",
+    "run_cluster_campaign",
+]
+
+#: Emulated-time MTBF of the burst process (one primary failure per hour).
+#: Only the *grouping* of arrivals into bursts matters to the emulator —
+#: which trials land in the same burst — so the unit is arbitrary as long
+#: as it is fixed; ``burst_window_s`` is interpreted relative to it.
+BURST_MTBF_S = 3600.0
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One correlated failure burst: which nodes crash, and when."""
+
+    index: int
+    time_s: float
+    nodes: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+def burst_schedule(
+    topology: ClusterTopology, n_events: int, seed: int
+) -> list[Burst]:
+    """The deterministic burst schedule for ``n_events`` node crashes.
+
+    Arrivals come from a :class:`CorrelatedFailureProcess` (grouped into
+    bursts by ``burst_window_s`` gaps); a raw burst of ``s`` arrivals
+    crashes ``min(s, nodes)`` *distinct* victims, drawn without
+    replacement from a seeded rng per burst.  The horizon grows by
+    doubling until the schedule carries ``n_events`` victims, so the
+    result is a pure function of ``(topology, n_events, seed)``.  At
+    N=1 every burst crashes node 0 exactly once.
+    """
+    if n_events <= 0:
+        return []
+    process = CorrelatedFailureProcess(
+        mtbf_s=BURST_MTBF_S,
+        correlation=topology.correlation,
+        burst_window_s=topology.burst_window_s,
+        seed=derive_seed(seed, "cluster-bursts"),
+    )
+    horizon = 4.0 * BURST_MTBF_S * float(n_events)
+    while True:
+        groups = process.bursts(horizon)
+        if sum(min(len(g), topology.nodes) for g in groups) >= n_events:
+            break
+        horizon *= 2.0
+    out: list[Burst] = []
+    remaining = n_events
+    for b, group in enumerate(groups):
+        k = min(len(group), topology.nodes, remaining)
+        rng = derive_rng(seed, "cluster-victims", b)
+        victims = np.sort(rng.permutation(topology.nodes)[:k])
+        out.append(
+            Burst(index=b, time_s=float(group[0]), nodes=tuple(int(v) for v in victims))
+        )
+        remaining -= k
+        if remaining == 0:
+            break
+    return out
+
+
+def trials_per_node(bursts: Sequence[Burst], nodes: int) -> list[int]:
+    """How many times the schedule crashes each node (its campaign size)."""
+    counts = [0] * nodes
+    for burst in bursts:
+        for node in burst.nodes:
+            counts[node] += 1
+    return counts
+
+
+def _slot_records(result: "CampaignResult") -> list["CrashTestRecord"]:
+    """Expand weighted records back to one record per sampled crash slot.
+
+    Records come back sorted by crash point with duplicates collapsed
+    into weights; the schedule consumes one slot per time it crashes the
+    node, in crash-point order, so a weight-w record fills w slots.
+    """
+    out: list["CrashTestRecord"] = []
+    for rec in result.records:
+        out.extend([rec] * rec.weight)
+    return out
+
+
+@dataclass
+class NodeLease:
+    """A node's work lease: retry-on-death on top of the circuit breaker.
+
+    Each node's campaign runs under a lease.  If the ``node_death`` chaos
+    kind fires at site ``cluster.node`` the lease expires mid-burst; the
+    retry policy re-acquires and replays the shard — every replay is
+    bit-identical because the shard itself is deterministic (and journal
+    resume skips already-classified trials).  Failures feed the shared
+    :class:`~repro.harness.resilience.CircuitBreaker`; once it trips the
+    death propagates instead of retrying forever.
+    """
+
+    node: int
+    policy: "RetryPolicy"
+    breaker: "object"  # CircuitBreaker
+    attempts: int = field(default=0, init=False)
+
+    def run(self, fn: Callable[[], "CampaignResult"]) -> "CampaignResult":
+        from repro.harness.chaos import NodeDeath, injector as chaos_injector
+
+        while True:
+            if not self.breaker.allow():
+                raise NodeDeath(
+                    f"node {self.node}: circuit breaker open after repeated "
+                    "node deaths; giving up"
+                )
+            self.attempts += 1
+            try:
+                if (ch := chaos_injector()) is not None:
+                    ch.maybe_node_death("cluster.node")
+                result = fn()
+            except NodeDeath:
+                tripped = self.breaker.record_failure()
+                if tripped or self.attempts > self.policy.max_retries:
+                    raise
+                time.sleep(self.policy.delay(f"node{self.node}", self.attempts - 1))
+                continue
+            self.breaker.record_success()
+            return result
+
+
+@dataclass
+class ClusterResult:
+    """Everything one cluster campaign produced."""
+
+    app: str
+    topology: ClusterTopology
+    crash_model: str
+    bursts: list[Burst]
+    node_results: dict[int, "CampaignResult"]
+    log: RecoveryLog
+
+    @property
+    def n_tests(self) -> int:
+        return sum(r.n_tests for r in self.node_results.values())
+
+    def recovery_mix(self) -> dict[str, int]:
+        return self.log.mix()
+
+    def recomputability(self) -> float:
+        """Weight-aware S1 fraction across every node's trials."""
+        from repro.nvct.campaign import Response
+
+        total = hits = 0
+        for result in self.node_results.values():
+            for rec in result.records:
+                total += rec.weight
+                if rec.response is Response.S1:
+                    hits += rec.weight
+        return hits / total if total else float("nan")
+
+    def to_dict(self) -> dict:
+        from repro.nvct.serialize import record_to_dict
+
+        return {
+            "kind": "cluster-campaign",
+            "app": self.app,
+            "crash_model": self.crash_model,
+            "topology": {
+                "nodes": self.topology.nodes,
+                "correlation": self.topology.correlation,
+                "burst_window_s": self.topology.burst_window_s,
+            },
+            "bursts": [
+                {"index": b.index, "time_s": b.time_s, "nodes": list(b.nodes)}
+                for b in self.bursts
+            ],
+            "records": {
+                str(node): [record_to_dict(r) for r in result.records]
+                for node, result in sorted(self.node_results.items())
+            },
+            "recovery_log": self.log.to_dict(),
+        }
+
+
+class ClusterEmulator:
+    """Shard one campaign across ``cfg.nodes`` emulated nodes.
+
+    ``cfg`` is an ordinary :class:`~repro.nvct.campaign.CampaignConfig`
+    whose topology fields (``nodes``/``correlation``/``burst_window_s``)
+    are non-default; ``cfg.n_tests`` is the *total* number of node
+    crashes across the cluster.  Every other parameter means exactly
+    what it means for a single-node campaign and is applied per shard.
+    """
+
+    def __init__(
+        self,
+        factory: "AppFactory",
+        cfg: "CampaignConfig",
+        *,
+        jobs: int | None = None,
+        chunk_timeout: float | None = None,
+        journal: "str | Path | None" = None,
+        retry: "RetryPolicy | None" = None,
+        trial_timeout: float | None = None,
+        golden: bool | None = None,
+        checkpoint: "MultiLevelCheckpointModel | None" = None,
+        breaker_threshold: int = 3,
+    ):
+        if cfg.node != 0:
+            raise UsageError(
+                "the cluster emulator owns shard assignment: pass node=0 "
+                f"(got node={cfg.node})"
+            )
+        if cfg.n_cores > 1 or cfg.verified_mode:
+            raise UsageError(
+                "cluster emulation requires single-core, non-verified "
+                "campaigns (each node is one emulated rank)"
+            )
+        self.factory = factory
+        self.cfg = cfg
+        try:
+            self.topology = ClusterTopology.from_config(cfg)
+        except ValueError as exc:
+            # Same contract as a bad --crash-model spec: a usage error,
+            # not an internal failure (the CLI maps it to exit 2).
+            raise UsageError(str(exc)) from exc
+        self.jobs = jobs
+        self.chunk_timeout = chunk_timeout
+        self.journal = journal
+        self.retry = retry
+        self.trial_timeout = trial_timeout
+        self.golden = golden
+        self.checkpoint = checkpoint
+        self.breaker_threshold = breaker_threshold
+
+    def _lease_policy(self) -> "RetryPolicy":
+        from repro.harness.resilience import RetryPolicy
+
+        # Leases retry instantly by default: a replayed shard is pure CPU
+        # work, and the chaos death schedule advances per attempt.
+        return self.retry or RetryPolicy(max_retries=4, base_delay=0.0, max_delay=0.0)
+
+    def run(self) -> ClusterResult:
+        from repro.harness.resilience import CircuitBreaker
+        from repro.memsim.crashmodel import get_model
+        from repro.nvct.campaign import run_campaign
+
+        cfg = self.cfg
+        model = get_model(cfg.crash_model)  # validate the spec up front
+        bursts = burst_schedule(self.topology, cfg.n_tests, cfg.seed)
+        counts = trials_per_node(bursts, self.topology.nodes)
+        policy = self._lease_policy()
+        breaker = CircuitBreaker(threshold=self.breaker_threshold)
+        node_results: dict[int, "CampaignResult"] = {}
+        for node, n_trials in enumerate(counts):
+            if n_trials == 0:
+                continue  # the schedule never crashed this node
+            node_cfg = replace(cfg, node=node, n_tests=n_trials)
+            journal = (
+                node_journal_path(self.journal, node)
+                if self.journal is not None
+                else None
+            )
+            lease = NodeLease(node=node, policy=policy, breaker=breaker)
+            node_results[node] = lease.run(
+                lambda node_cfg=node_cfg, journal=journal: run_campaign(
+                    self.factory,
+                    node_cfg,
+                    jobs=self.jobs,
+                    chunk_timeout=self.chunk_timeout,
+                    journal=journal,
+                    retry=self.retry,
+                    trial_timeout=self.trial_timeout,
+                    golden=self.golden,
+                    _shard=True,
+                )
+            )
+        orchestrator = RecoveryOrchestrator(
+            nodes=self.topology.nodes, checkpoint=self.checkpoint
+        )
+        log = orchestrator.orchestrate(
+            bursts, {n: _slot_records(r) for n, r in node_results.items()}
+        )
+        return ClusterResult(
+            app=self.factory.name,
+            topology=self.topology,
+            crash_model=model.spec,
+            bursts=bursts,
+            node_results=node_results,
+            log=log,
+        )
+
+
+def run_cluster_campaign(
+    factory: "AppFactory",
+    cfg: "CampaignConfig",
+    *,
+    jobs: int | None = None,
+    chunk_timeout: float | None = None,
+    journal: "str | Path | None" = None,
+    retry: "RetryPolicy | None" = None,
+    trial_timeout: float | None = None,
+    golden: bool | None = None,
+    checkpoint: "MultiLevelCheckpointModel | None" = None,
+) -> ClusterResult:
+    """Run one multi-node crash campaign (see :class:`ClusterEmulator`)."""
+    return ClusterEmulator(
+        factory,
+        cfg,
+        jobs=jobs,
+        chunk_timeout=chunk_timeout,
+        journal=journal,
+        retry=retry,
+        trial_timeout=trial_timeout,
+        golden=golden,
+        checkpoint=checkpoint,
+    ).run()

@@ -1,0 +1,117 @@
+"""Sharded survivor overlays: per-node crash images over a partitioned heap.
+
+A cluster campaign gives every emulated node its own cache hierarchy, so
+each node's post-crash NVM image is produced by applying the crash
+model's survivor plan to *that node's* dirty state only.  This module is
+the pure-function core of that sharding, factored out so the Hypothesis
+property tests can pin its two load-bearing guarantees directly against
+:func:`repro.memsim.reference.reference_survivor_plan`:
+
+* **N=1 degeneration** — sharding a dirty-block space across one node
+  and applying the survivor plan shard-by-shard is byte-identical to the
+  single-node plan on the whole space (node 0 even reuses the exact
+  historical rng derivation, so the bytes agree bit for bit);
+* **per-node monotonicity** — on every shard, the surviving byte sets
+  obey ``whole-cache-loss ⊆ adr ⊆ eadr``, the same persistence-domain
+  ordering PR 8 proved for single-node overlays.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.memsim.blocks import BLOCK_SIZE
+from repro.util.rng import derive_rng
+
+if TYPE_CHECKING:
+    from repro.memsim.crashmodel import CrashModel, SurvivorPlan
+
+__all__ = [
+    "shard_ranges",
+    "node_rng",
+    "plan_survivor_bytes",
+    "sharded_survivor_bytes",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def shard_ranges(n_blocks: int, nodes: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` block ranges assigning the address space to
+    nodes (nearly equal stripes; the leading ranges absorb the remainder)."""
+    if nodes < 1:
+        raise ValueError(f"need at least one node, got {nodes}")
+    base, extra = divmod(max(0, n_blocks), nodes)
+    out = []
+    lo = 0
+    for n in range(nodes):
+        hi = lo + base + (1 if n < extra else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def node_rng(seed: int, model: "CrashModel", counter: int, node: int) -> np.random.Generator:
+    """The survivor-plan rng for one node's crash image.
+
+    Node 0 keeps the exact single-node derivation the engine has always
+    used (:meth:`repro.memsim.crashmodel.CrashModel.apply`), which is
+    what makes a one-node cluster bit-identical to the plain campaign;
+    higher nodes fold their index into the derivation.
+    """
+    if node == 0:
+        return derive_rng(seed, "crash-model", model.spec, counter)
+    return derive_rng(seed, "crash-model", model.spec, counter, node)
+
+
+def plan_survivor_bytes(plan: "SurvivorPlan") -> np.ndarray:
+    """Absolute byte indices a survivor plan preserves (sorted, unique)."""
+    full, partial = plan
+    full = np.asarray(full, dtype=np.int64)
+    parts = []
+    if full.size:
+        parts.append(
+            (full[:, None] * BLOCK_SIZE + np.arange(BLOCK_SIZE, dtype=np.int64)).ravel()
+        )
+    if partial is not None:
+        block, cut = partial
+        if cut > 0:
+            parts.append(block * BLOCK_SIZE + np.arange(cut, dtype=np.int64))
+    if not parts:
+        return _EMPTY
+    return np.unique(np.concatenate(parts))
+
+
+def sharded_survivor_bytes(
+    model: "CrashModel",
+    dirty_blocks: np.ndarray,
+    store_seq: np.ndarray,
+    nodes: int,
+    seed: int,
+    counter: int = 0,
+) -> dict[int, np.ndarray]:
+    """Per-node surviving byte indices of a sharded crash image.
+
+    The dirty-block space is striped contiguously across ``nodes``
+    (:func:`shard_ranges` over ``max(dirty)+1`` blocks); each node runs
+    the model's survivor plan on its own dirty blocks with its own
+    seeded rng.  Byte indices are absolute (concatenated-heap
+    coordinates), so the union over nodes is directly comparable with a
+    single-node plan over the whole space.
+    """
+    dirty_blocks = np.asarray(dirty_blocks, dtype=np.int64)
+    store_seq = np.asarray(store_seq, dtype=np.int64)
+    span = int(dirty_blocks.max()) + 1 if dirty_blocks.size else 0
+    out: dict[int, np.ndarray] = {}
+    for node, (lo, hi) in enumerate(shard_ranges(span, nodes)):
+        mask = (dirty_blocks >= lo) & (dirty_blocks < hi)
+        if not mask.any():
+            out[node] = _EMPTY
+            continue
+        plan = model.survivor_plan(
+            dirty_blocks[mask], store_seq[mask], node_rng(seed, model, counter, node)
+        )
+        out[node] = plan_survivor_bytes(plan)
+    return out

@@ -122,7 +122,11 @@ def campaign_config_doc(cfg: "CampaignConfig") -> dict:
     The crash model is dropped at its default (keys stay byte-identical
     to the pre-crash-model era) and replaced by the *parsed* model's
     fingerprint otherwise — so keys change iff the model changes, not
-    when its spelling does (``"adr"`` == ``"adr:wpq=64"``).
+    when its spelling does (``"adr"`` == ``"adr:wpq=64"``).  The cluster
+    topology fields (``nodes``/``correlation``/``burst_window_s``/
+    ``node``) follow the same discipline: dropped at their single-node
+    defaults so pre-cluster keys are unchanged, kept otherwise so every
+    shard of every topology gets its own key.
     """
     doc = asdict(cfg)
     spec = doc.pop("crash_model", None)
@@ -132,6 +136,14 @@ def campaign_config_doc(cfg: "CampaignConfig") -> dict:
         model = get_model(spec)
         if not model.is_default:
             doc["crash_model"] = model.fingerprint()
+    for name, default in (
+        ("nodes", 1),
+        ("correlation", 0.0),
+        ("burst_window_s", 600.0),
+        ("node", 0),
+    ):
+        if doc.get(name) == default:
+            doc.pop(name, None)
     return doc
 
 

@@ -33,6 +33,14 @@ site                  faults it can fire
                       campaign), ``stale_version`` (the record reads as
                       a foreign schema version — the migration-shim
                       rejection path)
+``cluster.node``      ``node_death`` — an emulated node dies before its
+                      shard completes; the node's lease retries it and
+                      the shared circuit breaker bounds the damage
+                      (:mod:`repro.cluster.emulator`)
+``cluster.rollback``  ``straggler_node`` — one peer is slow to join a
+                      coordinated rollback barrier; recovery *timing*
+                      stretches but results must stay bit-identical
+                      (:mod:`repro.cluster.recovery`)
 ===================== =====================================================
 
 Determinism: whether call *n* at a site fires is a pure function of
@@ -61,6 +69,7 @@ __all__ = [
     "FAULT_KINDS",
     "WORKER_DEATH_TIMEOUT",
     "InjectedFault",
+    "NodeDeath",
     "ChaosInjector",
     "injector",
     "enable",
@@ -80,6 +89,8 @@ FAULT_KINDS = (
     "bitflip",
     "stale_version",
     "torn_writeback",
+    "node_death",
+    "straggler_node",
 )
 
 #: Seconds a parallel chunk may take when worker-death chaos is active.
@@ -99,6 +110,14 @@ class InjectedFault(OSError):
 
     Subclasses ``OSError`` so production retry paths treat it exactly
     like the real flaky-filesystem errors it stands in for.
+    """
+
+
+class NodeDeath(InjectedFault):
+    """An emulated cluster node died mid-shard (``node_death``).
+
+    Distinct from :class:`InjectedFault` so the cluster lease can retry
+    node deaths specifically while letting genuine I/O errors surface.
     """
 
 
@@ -148,6 +167,24 @@ class ChaosInjector:
         """Fire ``os_error``: raise a transient :class:`InjectedFault`."""
         if self.fires(site, "os_error"):
             raise InjectedFault(f"chaos: injected I/O error at {site}")
+
+    def maybe_node_death(self, site: str) -> None:
+        """Fire ``node_death``: raise :class:`NodeDeath` for this node."""
+        if self.fires(site, "node_death"):
+            raise NodeDeath(f"chaos: injected node death at {site}")
+
+    def maybe_straggle(self, site: str) -> bool:
+        """Fire ``straggler_node``: stall briefly; returns whether it fired.
+
+        Unlike ``slow_io`` the caller cares *that* it fired (a straggler
+        stretches the modelled coordinated-rollback time), so the decision
+        is returned.  The injected sleep keeps wall-clock effects real but
+        small; results must never depend on it.
+        """
+        if not self.fires(site, "straggler_node"):
+            return False
+        time.sleep(SLOW_IO_SECONDS)
+        return True
 
     def corrupt(self, site: str, data: bytes) -> bytes:
         """Fire ``corrupt_read``: return ``data`` with deterministic damage."""

@@ -120,6 +120,22 @@ class CampaignConfig:
     # whole-cache-loss; "adr", "eadr" and "torn" model residual-energy
     # persistence domains and torn multi-word stores.
     crash_model: str = "whole-cache-loss"
+    # Cluster topology (repro.cluster): number of emulated nodes the
+    # campaign shards across, the burst correlation of the failure
+    # process, and the burst window grouping correlated arrivals.  A
+    # topology other than the single uncorrelated node must run through
+    # repro.cluster.run_cluster_campaign, which fans out one shard
+    # campaign per node; all four fields are dropped from content keys
+    # at their defaults (repro.harness.cache.campaign_config_doc), so
+    # single-node keys stay byte-identical to the pre-cluster era.
+    nodes: int = 1
+    correlation: float = 0.0
+    burst_window_s: float = 600.0
+    # Which shard this config executes.  Set by the cluster emulator;
+    # node 0 samples crash points with the historical single-node key,
+    # so a one-node cluster is record-for-record identical to a plain
+    # campaign.
+    node: int = 0
 
 
 @dataclass
@@ -513,6 +529,7 @@ def run_campaign(
     trial_timeout: float | None = None,
     golden: bool | None = None,
     plan: "object | str | Path | None" = None,
+    _shard: bool = False,
 ) -> CampaignResult:
     """Run a full crash-test campaign for one application and plan.
 
@@ -551,6 +568,14 @@ def run_campaign(
     (app, params, config, versions) or a :class:`~repro.errors.UsageError`
     is raised.  Requires the golden-pass engine.
     """
+    if cfg.nodes > 1 and not _shard:
+        from repro.errors import UsageError
+
+        raise UsageError(
+            f"config asks for a {cfg.nodes}-node cluster: run it through "
+            "repro.cluster.run_cluster_campaign (CLI: `repro campaign "
+            "--nodes`), which shards the campaign and orchestrates recovery"
+        )
     crash_plan = None
     if plan is not None:
         from repro.analysis.equiv_pass import CrashPlan
@@ -588,8 +613,15 @@ def run_campaign(
             profiling_app.run()
         window = (counting.window_begin or 0, counting.counter)
 
+        # Node 0 keeps the historical sampling key; higher shards fold
+        # their node index in — real SPMD ranks crash a burst at the same
+        # wall clock but different instruction counters, and this is what
+        # makes an N=1 cluster bit-identical to the plain campaign.
+        sample_key = (
+            factory.name if cfg.node == 0 else f"{factory.name}#node{cfg.node}"
+        )
         points = _sample_crash_points(
-            window, cfg.n_tests, cfg.seed, factory.name, cfg.distribution
+            window, cfg.n_tests, cfg.seed, sample_key, cfg.distribution
         )
         points, weights = _dedupe_crash_points(points)
         if crash_plan is not None and (

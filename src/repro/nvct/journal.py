@@ -73,6 +73,16 @@ def campaign_header(factory: "AppFactory", cfg: "CampaignConfig") -> dict:
         # Informational (the key above already pins the model); omitted at
         # the default so historical journals stay resumable byte for byte.
         header["crash_model"] = model.spec
+    from repro.cluster.topology import topology_fingerprint  # lazy: package cycle
+
+    topology = topology_fingerprint(cfg)
+    if topology is not None:
+        # Pins the shard layout (nodes/correlation/burst window/shard
+        # index/crash model) so a resume under a different topology is
+        # refused with a topology-specific error instead of the generic
+        # key mismatch.  Omitted for the single-node default, keeping
+        # pre-cluster journals resumable byte for byte.
+        header["topology"] = topology
     return header
 
 
@@ -182,6 +192,16 @@ class CampaignJournal:
             raise JournalError(
                 f"{path}: not a campaign journal (delete it or pick another path)"
             )
+        if found.get("topology") != header.get("topology"):
+            # Checked before the key so the operator sees the real cause:
+            # same campaign, replayed under a different cluster topology
+            # (--nodes/--correlation/crash model), would interleave shard
+            # records that belong to different burst schedules.
+            raise JournalError(
+                f"{path}: journal was recorded under a different cluster topology "
+                f"(found {found.get('topology')!r}, campaign has "
+                f"{header.get('topology')!r}); refusing to resume"
+            )
         if found.get("key") != header.get("key"):
             raise JournalError(
                 f"{path}: journal belongs to a different campaign "
@@ -230,21 +250,31 @@ class CampaignJournal:
         self._fh.flush()
         os.fsync(self._fh.fileno())
 
+    #: Write attempts per append before giving up.  Transient faults can
+    #: arrive back to back (the chaos schedule at seed 7 proves it), so a
+    #: single absorbed failure is not enough; three bounded attempts ride
+    #: out a double fault while a persistently unwritable journal — which
+    #: has lost its crash-safety guarantee — still fails loudly.
+    APPEND_ATTEMPTS = 3
+
     def append(self, index: int, record: "CrashTestRecord") -> None:
         """Durably journal one completed trial (fsync before returning).
 
-        One transient I/O failure is absorbed by reopening the file and
-        retrying; a second failure propagates — a journal that cannot be
-        written has lost its crash-safety guarantee and must be loud.
+        Transient I/O failures are absorbed by reopening the file and
+        retrying, at most :attr:`APPEND_ATTEMPTS` times in total; after
+        that the failure propagates.
         """
         from repro.nvct.serialize import record_to_dict
 
         doc = {"kind": "trial", "index": index, "record": record_to_dict(record)}
-        try:
-            self._write_line(doc)
-        except OSError:
-            self._fh = open(self.path, "ab")
-            self._write_line(doc)
+        for attempt in range(self.APPEND_ATTEMPTS):
+            try:
+                self._write_line(doc)
+                break
+            except OSError:
+                if attempt == self.APPEND_ATTEMPTS - 1:
+                    raise
+                self._fh = open(self.path, "ab")
         self.appended += 1
         if (reg := obs_registry()) is not None:
             reg.counter("journal.appends", unit="trials").inc()

@@ -27,6 +27,7 @@ from repro.nvct.runtime import ObjectProfile, PersistEvent, RegionProfile, Snaps
 
 __all__ = [
     "save_campaign",
+    "save_cluster_result",
     "load_campaign",
     "plan_to_dict",
     "plan_from_dict",
@@ -193,6 +194,21 @@ def save_campaign(result: CampaignResult, path: str | Path) -> Path:
     from repro.obs.export import write_text
 
     return write_text(path, json.dumps(campaign_to_dict(result), indent=1))
+
+
+def save_cluster_result(result, path: str | Path) -> Path:
+    """Serialize a multi-node cluster campaign
+    (:class:`~repro.cluster.emulator.ClusterResult`) to a JSON file.
+
+    Same atomic-writer discipline as :func:`save_campaign`; the document
+    carries ``"kind": "cluster-campaign"`` plus the burst schedule,
+    per-node records and the recovery-decision log.  Keys are sorted so
+    the file is byte-stable across journal-resumed reruns (a resumed
+    record's ``rates`` dict reloads in canonical order).
+    """
+    from repro.obs.export import write_text
+
+    return write_text(path, json.dumps(result.to_dict(), indent=1, sort_keys=True))
 
 
 def load_campaign(path: str | Path) -> CampaignResult:

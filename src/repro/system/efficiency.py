@@ -35,6 +35,7 @@ __all__ = [
     "efficiency_easycrash",
     "efficiency_easycrash_under",
     "efficiency_by_crash_model",
+    "efficiency_measured_multinode",
     "efficiency_improvement",
     "recomputability_threshold",
 ]
@@ -80,9 +81,29 @@ def efficiency_baseline(p: SystemParams) -> float:
     return min(1.0, useful / p.total_time_s)
 
 
-def efficiency_easycrash(p: SystemParams, recomputability: float, ts: float) -> float:
+def _restart_sync(p: SystemParams, nodes: int | None) -> float:
+    """Coordination charge for an NVM restart, gated on surviving peers.
+
+    ``T_sync`` is a cross-node barrier: restarting peers re-join the
+    surviving checkpointing nodes.  With no topology (``nodes=None``) the
+    historical behaviour — always charge it — is kept for backward
+    compatibility with Eq. 9.  With a known topology the charge applies
+    only when there *are* peers to coordinate with: a single-node system
+    (or one where a burst took every node) pays no barrier on restart.
+    """
+    if nodes is not None and nodes <= 1:
+        return 0.0
+    return p.t_sync
+
+
+def efficiency_easycrash(
+    p: SystemParams, recomputability: float, ts: float, nodes: int | None = None
+) -> float:
     """Eqs. 8-9: efficiency with EasyCrash at the given recomputability
-    ``R`` and runtime overhead ``ts``."""
+    ``R`` and runtime overhead ``ts``.
+
+    ``nodes`` (optional) gates the NVM-restart coordination term on the
+    surviving-node count — see :func:`_restart_sync`."""
     if not 0.0 <= recomputability < 1.0:
         if recomputability >= 1.0:
             recomputability = 1.0 - 1e-9
@@ -96,7 +117,7 @@ def efficiency_easycrash(p: SystemParams, recomputability: float, ts: float) -> 
     m_rollback = m * (1.0 - recomputability)
     m_recompute = m * recomputability
     recovery = m_rollback * (t_prime / 2.0 + p.t_restore + p.t_sync)
-    recovery += m_recompute * (p.t_r_nvm_s + p.t_sync)
+    recovery += m_recompute * (p.t_r_nvm_s + _restart_sync(p, nodes))
     n = (p.total_time_s - recovery) / (t_prime + p.t_chk_s)
     useful = max(0.0, n * t_prime) * (1.0 - ts)
     return min(1.0, useful / p.total_time_s)
@@ -137,6 +158,7 @@ def efficiency_easycrash_under(
     recomputability: float,
     ts: float,
     process: "CorrelatedFailureProcess",
+    nodes: int | None = None,
 ) -> float:
     """Eqs. 8-9 with ``M`` drawn from an emulated failure schedule.
 
@@ -155,7 +177,7 @@ def efficiency_easycrash_under(
     m_rollback = m * (1.0 - recomputability)
     m_recompute = m * recomputability
     recovery = m_rollback * (t_prime / 2.0 + p.t_restore + p.t_sync)
-    recovery += m_recompute * (p.t_r_nvm_s + p.t_sync)
+    recovery += m_recompute * (p.t_r_nvm_s + _restart_sync(p, nodes))
     n = (p.total_time_s - recovery) / (t_prime + p.t_chk_s)
     useful = max(0.0, n * t_prime) * (1.0 - ts)
     return min(1.0, useful / p.total_time_s)
@@ -166,6 +188,7 @@ def efficiency_by_crash_model(
     recomputability_by_model: Mapping[str, float],
     ts: float,
     process: "CorrelatedFailureProcess | None" = None,
+    nodes: int | None = None,
 ) -> dict[str, float]:
     """EasyCrash efficiency per crash model (Sec. 7 consuming the
     crash-model ablation).
@@ -174,17 +197,52 @@ def efficiency_by_crash_model(
     application recomputability measured under it (e.g. via
     :func:`repro.core.model.application_recomputability_by_model`);
     with ``process`` the emulated-schedule variant is used instead of
-    the closed form.
+    the closed form.  ``nodes`` gates the NVM-restart coordination term
+    on the surviving-node count (:func:`_restart_sync`): previously a
+    restart was always charged ``T_sync`` even when no checkpointing
+    peer survived to coordinate with.
     """
     if process is None:
         return {
-            model: efficiency_easycrash(p, r, ts)
+            model: efficiency_easycrash(p, r, ts, nodes=nodes)
             for model, r in recomputability_by_model.items()
         }
     return {
-        model: efficiency_easycrash_under(p, r, ts, process)
+        model: efficiency_easycrash_under(p, r, ts, process, nodes=nodes)
         for model, r in recomputability_by_model.items()
     }
+
+
+def efficiency_measured_multinode(
+    p: SystemParams,
+    mix: Mapping[str, int],
+    ts: float,
+    nodes: int,
+    process: "CorrelatedFailureProcess | None" = None,
+) -> float:
+    """EasyCrash efficiency from a *measured* multi-node recovery mix.
+
+    Where :func:`efficiency_easycrash` takes the recomputability ``R`` as
+    an assumed input, this derives it from what the cluster emulator
+    actually observed: ``mix`` is a recovery-decision tally as produced
+    by :meth:`repro.cluster.recovery.RecoveryLog.mix` — counts keyed by
+    ``"nvm_restart"`` and ``"rollback"`` — and ``R`` is the measured NVM
+    restart fraction.  ``nodes`` must be the emulated topology size; it
+    gates the restart coordination term (:func:`_restart_sync`).  With
+    ``process`` the crash count ``M`` comes from that emulated schedule
+    instead of the Poisson expectation.
+    """
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    nvm = int(mix.get("nvm_restart", 0))
+    rollback = int(mix.get("rollback", 0))
+    if nvm < 0 or rollback < 0:
+        raise ValueError("recovery mix counts must be non-negative")
+    total = nvm + rollback
+    measured_r = nvm / total if total else 0.0
+    if process is None:
+        return efficiency_easycrash(p, measured_r, ts, nodes=nodes)
+    return efficiency_easycrash_under(p, measured_r, ts, process, nodes=nodes)
 
 
 def efficiency_at_interval(p: SystemParams, interval_s: float) -> float:

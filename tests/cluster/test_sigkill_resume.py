@@ -1,0 +1,81 @@
+"""The cluster acceptance test: SIGKILL a journaled multi-node campaign
+mid-run, resume from the per-node journals, compare bit for bit."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.apps.registry import get_factory
+from repro.cluster import run_cluster_campaign
+from repro.nvct.campaign import CampaignConfig
+
+CFG = CampaignConfig(n_tests=10, seed=3, nodes=4, correlation=0.3)
+
+_CHILD = """
+import sys, time
+import repro.nvct.campaign as camp
+_orig = camp._classify
+def _slow(*a, **k):
+    time.sleep(0.2)  # give the parent time to SIGKILL us mid-campaign
+    return _orig(*a, **k)
+camp._classify = _slow
+from repro.apps.registry import get_factory
+from repro.cluster import run_cluster_campaign
+from repro.nvct.campaign import CampaignConfig
+run_cluster_campaign(
+    get_factory("MG"),
+    CampaignConfig(n_tests=10, seed=3, nodes=4, correlation=0.3),
+    journal=sys.argv[1],
+)
+print("COMPLETE", flush=True)
+"""
+
+
+def _journaled_lines(tmp_path):
+    return sum(
+        p.read_bytes().count(b"\n")
+        for p in tmp_path.iterdir()
+        if p.name.startswith("j.jsonl")
+    )
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGKILL"), reason="needs SIGKILL")
+def test_sigkill_then_resume_is_bit_identical(tmp_path):
+    journal = tmp_path / "j.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _CHILD, str(journal)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                out, err = proc.communicate()
+                pytest.fail(f"campaign finished before the kill: {err.decode()!r}")
+            # headers + >= 3 journaled trials across the node journals
+            if journal.exists() and _journaled_lines(tmp_path) >= 4:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("journals never accumulated trials")
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert _journaled_lines(tmp_path) >= 4  # interrupted partway, durably
+
+    resumed = run_cluster_campaign(get_factory("MG"), CFG, journal=journal)
+    baseline = run_cluster_campaign(get_factory("MG"), CFG)
+    assert json.dumps(resumed.to_dict(), sort_keys=True) == json.dumps(
+        baseline.to_dict(), sort_keys=True
+    )

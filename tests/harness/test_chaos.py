@@ -75,6 +75,37 @@ def test_fault_helpers():
     assert ch.injected["corrupt_read"] == 1
 
 
+def test_cluster_fault_kinds_registered():
+    assert "node_death" in chaos.FAULT_KINDS
+    assert "straggler_node" in chaos.FAULT_KINDS
+
+
+def test_node_death_raises_typed_fault():
+    ch = ChaosInjector(5, 1.0, kinds=["node_death"])
+    with pytest.raises(chaos.NodeDeath) as excinfo:
+        ch.maybe_node_death("cluster.node")
+    # A NodeDeath is an InjectedFault (and so an OSError): generic retry
+    # paths treat it like any transient failure, while the cluster lease
+    # can catch it specifically.
+    assert isinstance(excinfo.value, InjectedFault)
+    assert ch.injected["node_death"] == 1
+    # filtered out → never fires
+    quiet = ChaosInjector(5, 1.0, kinds=["slow_io"])
+    quiet.maybe_node_death("cluster.node")
+    assert "node_death" not in quiet.injected
+
+
+def test_straggler_returns_whether_it_fired(monkeypatch):
+    naps = []
+    monkeypatch.setattr(chaos.time, "sleep", naps.append)
+    ch = ChaosInjector(5, 1.0, kinds=["straggler_node"])
+    assert ch.maybe_straggle("cluster.rollback") is True
+    assert naps == [chaos.SLOW_IO_SECONDS]
+    quiet = ChaosInjector(5, 1.0, kinds=["slow_io"])
+    assert quiet.maybe_straggle("cluster.rollback") is False
+    assert naps == [chaos.SLOW_IO_SECONDS]  # no extra sleep
+
+
 def test_enable_disable_override_env(monkeypatch):
     monkeypatch.setenv(chaos.ENV_VAR, "7:0.5")
     ch = chaos.enable(9, 0.25)

@@ -215,3 +215,49 @@ def test_efficiency_by_crash_model():
     under = efficiency_by_crash_model(p, by_model, ts=0.05, process=process)
     assert under["eadr:granularity=8"] >= under["whole-cache-loss"]
     assert under["whole-cache-loss"] < eff["whole-cache-loss"]
+
+
+# -- surviving-node gating of the restart coordination term --------------------
+
+
+def test_restart_sync_gated_on_surviving_nodes():
+    """Regression (PR 9): an NVM restart used to be charged ``T_sync``
+    even on a single-node system with no checkpointing peer left to
+    coordinate with.  With ``nodes=1`` the term drops; with peers (or
+    without a topology, the historical behaviour) it stays."""
+    p = params(t_chk=320.0)
+    legacy = efficiency_easycrash(p, 0.8, 0.05)
+    single = efficiency_easycrash(p, 0.8, 0.05, nodes=1)
+    multi = efficiency_easycrash(p, 0.8, 0.05, nodes=4)
+    assert multi == legacy  # peers exist: the barrier is still charged
+    assert single > legacy  # no peers: the barrier drops, efficiency rises
+    # Pinned N=1 value so the gated formula cannot drift silently.
+    assert single == pytest.approx(0.8975692381705862, abs=1e-12)
+    assert legacy == pytest.approx(0.8948290031077623, abs=1e-12)
+    # The gate only ever touches the restart term: with no NVM restarts
+    # (R=0) the three variants agree exactly.
+    assert efficiency_easycrash(p, 0.0, 0.05, nodes=1) == efficiency_easycrash(
+        p, 0.0, 0.05
+    )
+
+
+def test_efficiency_measured_multinode_from_mix():
+    from repro.checkpoint.multilevel import CorrelatedFailureProcess
+    from repro.system.efficiency import efficiency_measured_multinode
+
+    p = params(t_chk=320.0)
+    mix = {"nvm_restart": 6, "rollback": 2}  # measured R = 0.75
+    eff = efficiency_measured_multinode(p, mix, 0.05, 4)
+    assert eff == pytest.approx(efficiency_easycrash(p, 0.75, 0.05, nodes=4))
+    # All-rollback and empty mixes degenerate to R = 0.
+    zero = efficiency_measured_multinode(p, {"rollback": 5}, 0.05, 4)
+    assert zero == pytest.approx(efficiency_easycrash(p, 0.0, 0.05, nodes=4))
+    assert efficiency_measured_multinode(p, {}, 0.05, 4) == zero
+    # Emulated schedules dispatch to the *_under variant.
+    process = CorrelatedFailureProcess(mtbf_s=p.mtbf_s, correlation=0.4, seed=2)
+    under = efficiency_measured_multinode(p, mix, 0.05, 4, process=process)
+    assert under < eff
+    with pytest.raises(ValueError):
+        efficiency_measured_multinode(p, mix, 0.05, 0)
+    with pytest.raises(ValueError):
+        efficiency_measured_multinode(p, {"nvm_restart": -1}, 0.05, 2)

@@ -146,6 +146,63 @@ def test_campaign_resume_conflicts_with_until_stable(capsys, tmp_path):
     assert "--until-stable" in err
 
 
+def test_campaign_multinode(capsys, tmp_path):
+    save = tmp_path / "cluster.json"
+    rlog = tmp_path / "recovery.json"
+    code, out = run_cli(
+        capsys, "campaign", "MG", "--tests", "8", "--seed", "3",
+        "--nodes", "4", "--correlation", "0.3",
+        "--save", str(save), "--recovery-log", str(rlog),
+    )
+    assert code == 0
+    assert "topology: 4 node(s), correlation 0.3" in out
+    assert "recovery mix" in out
+    assert "Recovery mix by burst size" in out
+    import json
+
+    doc = json.loads(save.read_text())
+    assert doc["kind"] == "cluster-campaign"
+    log = json.loads(rlog.read_text())
+    assert log["nodes"] == 4 and log["bursts"]
+
+
+def test_campaign_multinode_flag_conflicts_exit_2(capsys, tmp_path):
+    for extra in (
+        ["--until-stable"],
+        ["--cores", "2"],
+        ["--crash-plan", str(tmp_path / "plan.json")],
+    ):
+        code = main(
+            ["campaign", "MG", "--tests", "4", "--nodes", "2", *extra]
+        )
+        err = capsys.readouterr().err
+        assert code == 2, extra
+        assert "--nodes" in err
+
+
+def test_campaign_multinode_bad_correlation_exits_2(capsys):
+    code = main(["campaign", "MG", "--tests", "4", "--correlation", "1.5"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "correlation" in err
+
+
+def test_campaign_multinode_resume_topology_mismatch_exits_2(capsys, tmp_path):
+    journal = tmp_path / "j.jsonl"
+    code, _ = run_cli(
+        capsys, "campaign", "MG", "--tests", "6", "--seed", "3",
+        "--nodes", "2", "--correlation", "0.3", "--resume", str(journal),
+    )
+    assert code == 0
+    code = main(
+        ["campaign", "MG", "--tests", "6", "--seed", "3",
+         "--nodes", "4", "--correlation", "0.3", "--resume", str(journal)]
+    )
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "different cluster topology" in err
+
+
 def test_keyboard_interrupt_exits_130_without_traceback(capsys, monkeypatch):
     def interrupted(*a, **k):
         raise KeyboardInterrupt
