@@ -33,6 +33,16 @@ Commands
     classifying every entry (ok / legacy-v0 / corrupt / foreign-version
     / orphaned-tmp); ``--repair`` quarantines the bad ones and rebuilds
     the LRU index.
+``serve APP``
+    Campaign orchestration scheduler (:mod:`repro.service`): shard the
+    campaign into leased trial chunks, hand them to ``repro work``
+    workers over a Unix socket, reap dead workers, and assemble the
+    final (bit-identical) result from the journals.  ``--resume``
+    rebuilds the queue after a scheduler crash.
+``work``
+    Stateless campaign worker: connect to a ``repro serve`` socket,
+    pull leases, execute chunks through the golden-pass engine, stream
+    records back, heartbeat, commit.  Run as many as you like.
 
 Exit codes: 0 success, 1 findings/regression/failed check, 2 usage or
 environment error, 3 data corruption (:class:`~repro.errors.
@@ -46,9 +56,11 @@ import sys
 
 from repro.errors import (
     EXIT_CORRUPT,
+    EXIT_FAILURE,
     EXIT_INTERRUPTED,
     EXIT_USAGE,
     JournalError,
+    ServiceError,
     SnapshotCorruptError,
     UsageError,
 )
@@ -344,6 +356,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="fsck only: quarantine bad entries and rebuild the LRU index",
     )
 
+    sv = sub.add_parser(
+        "serve",
+        help="campaign orchestration scheduler (lease-based, crash-restartable)",
+        description="Shard a campaign into fixed-size trial chunks and "
+        "serve them as journaled work leases to `repro work` workers over "
+        "a Unix socket. Every grant/expiry/commit is an fsync'd journal "
+        "line, so a SIGKILL'd scheduler restarts with --resume and the "
+        "final result is bit-identical to `repro campaign` (same summary, "
+        "same --save file).",
+    )
+    sv.add_argument("app", help="application name (see list-apps)")
+    sv.add_argument("--socket", required=True, metavar="PATH",
+                    help="Unix socket path the scheduler listens on")
+    sv.add_argument("--journal", required=True, metavar="FILE",
+                    help="campaign trial journal (per-node siblings are "
+                    "derived for --nodes, like `campaign --resume`)")
+    sv.add_argument("--lease-journal", metavar="FILE", default=None,
+                    help="lease event journal (default: <journal>.leases)")
+    sv.add_argument("--chunk-size", type=int, default=8, metavar="N",
+                    help="trials per work lease (default 8)")
+    sv.add_argument("--heartbeat-deadline", type=float, default=30.0,
+                    metavar="SECONDS",
+                    help="missed-heartbeat deadline before the reaper "
+                    "expires a lease and re-issues its chunk (default 30)")
+    sv.add_argument("--resume", action="store_true",
+                    help="rebuild the queue from an existing lease journal "
+                    "(required after a scheduler crash; without it a "
+                    "non-empty lease journal is refused)")
+    sv.add_argument("--tests", type=int, default=100)
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--plan", choices=["none", "loop", "easycrash"], default="none",
+                    help="persistence plan (as in `repro campaign`)")
+    sv.add_argument("--cores", type=int, default=1, help="simulated cores")
+    sv.add_argument("--save", metavar="FILE",
+                    help="write the assembled campaign to a JSON file")
+    sv.add_argument("--no-golden", action="store_true",
+                    help="legacy snapshot path on the workers (see campaign)")
+    sv.add_argument("--trial-timeout", type=float, default=None, metavar="SECONDS",
+                    help="per-trial deadline on the workers")
+    sv.add_argument("--crash-plan", metavar="FILE", default=None,
+                    help="pruned crash plan (see `repro campaign --crash-plan`)")
+    sv.add_argument("--crash-model", metavar="MODEL", default="whole-cache-loss",
+                    help="crash model (see `repro campaign --crash-model`)")
+    sv.add_argument("--nodes", type=int, default=1, metavar="N",
+                    help="emulated cluster size (see `repro campaign --nodes`)")
+    sv.add_argument("--correlation", type=float, default=0.0, metavar="C",
+                    help="failure correlation (see campaign)")
+    sv.add_argument("--burst-window", type=float, default=600.0, metavar="SECONDS",
+                    help="burst grouping window (see campaign)")
+    sv.add_argument("--recovery-log", metavar="FILE", default=None,
+                    help="(multi-node) write the recovery-decision log as JSON")
+
+    w = sub.add_parser(
+        "work",
+        help="stateless campaign worker for a `repro serve` scheduler",
+        description="Connect to a scheduler socket, pull work leases, "
+        "execute their trial chunks through the golden-pass engine, "
+        "stream records back, and heartbeat until the campaign is done. "
+        "Safe to SIGKILL at any point: the reaper re-issues the chunk "
+        "and fencing tokens reject this worker's late commit.",
+    )
+    w.add_argument("--socket", required=True, metavar="PATH",
+                   help="Unix socket path of the scheduler")
+    w.add_argument("--name", default=None, metavar="NAME",
+                   help="worker name for lease bookkeeping (default: worker-<pid>)")
+    w.add_argument("--idle-timeout", type=float, default=30.0, metavar="SECONDS",
+                   help="how long to retry a dead socket before concluding "
+                   "the campaign is over (default 30)")
+    w.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="connect retries burned per backoff cycle (default 8)")
+
     a = sub.add_parser("advise", help="Sec. 8 deployment decision for an application")
     a.add_argument("app")
     a.add_argument("--mtbf-hours", type=float, default=12.0)
@@ -391,32 +474,95 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_sigterm_handler() -> None:
+    """Turn SIGTERM into the same graceful unwind SIGINT gets.
+
+    A supervisor's ``kill`` (the default TERM, not KILL) must not drop a
+    journal tail: raising ``KeyboardInterrupt`` unwinds through the
+    ``finally`` blocks that flush + fsync every open journal, and
+    :func:`main` maps it to the documented INTERRUPTED exit code.
+    Installed only for journal-writing commands (campaign, serve, work).
+    """
+    import signal
+
+    def _term(signum: object, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _term)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
+
+
+def _build_persistence_plan(args: argparse.Namespace, factory):
+    """The ``--plan none|loop|easycrash`` leg shared by campaign and serve."""
+    from repro.core.planner import EasyCrashConfig, plan_easycrash
+    from repro.nvct.plan import PersistencePlan
+
+    if args.plan == "none":
+        return PersistencePlan.none()
+    if args.plan == "loop":
+        app = factory.make(None)
+        return PersistencePlan.at_loop_end([o.name for o in app.ws.heap.candidates()])
+    report = plan_easycrash(
+        factory, EasyCrashConfig(n_tests=args.tests, seed=args.seed)
+    )
+    print(f"critical objects: {', '.join(report.critical_objects) or '(none)'}")
+    return report.plan
+
+
+def _print_single_result(result) -> None:
+    """Postmortem summary of a single-node campaign (campaign and serve
+    print through this one function, so their outputs diff clean)."""
+    from repro.nvct.report import (
+        campaign_summary,
+        object_inconsistency_table,
+        region_breakdown,
+    )
+
+    print(campaign_summary(result))
+    print()
+    print(region_breakdown(result))
+    print()
+    print(object_inconsistency_table(result))
+
+
+def _print_cluster_result(result, args: argparse.Namespace) -> None:
+    """Cluster postmortem + optional artifacts (shared campaign/serve)."""
+    from repro.cluster.report import cluster_summary, decision_log, recovery_mix_table
+
+    if getattr(args, "save", None):
+        from repro.nvct.serialize import save_cluster_result
+
+        print(f"cluster campaign saved to {save_cluster_result(result, args.save)}")
+    if getattr(args, "recovery_log", None):
+        import json as _json
+
+        from repro.obs.export import write_text
+
+        out = write_text(args.recovery_log, _json.dumps(result.log.to_dict(), indent=1))
+        print(f"recovery log written to {out}")
+    print(cluster_summary(result))
+    print()
+    print(recovery_mix_table(result.log))
+    print()
+    print(decision_log(result.log))
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     import contextlib
     import os
 
     from repro import obs
     from repro.apps.registry import get_factory
-    from repro.core.planner import EasyCrashConfig, plan_easycrash
     from repro.nvct.campaign import CampaignConfig, run_campaign
-    from repro.nvct.plan import PersistencePlan
-    from repro.nvct.report import campaign_summary, object_inconsistency_table, region_breakdown
 
+    _install_sigterm_handler()
     stats_file = getattr(args, "stats", None)
     scope = obs.enabled() if stats_file else contextlib.nullcontext()
     with scope as reg:
         factory = get_factory(args.app)
-        if args.plan == "none":
-            plan = PersistencePlan.none()
-        elif args.plan == "loop":
-            app = factory.make(None)
-            plan = PersistencePlan.at_loop_end([o.name for o in app.ws.heap.candidates()])
-        else:
-            report = plan_easycrash(
-                factory, EasyCrashConfig(n_tests=args.tests, seed=args.seed)
-            )
-            plan = report.plan
-            print(f"critical objects: {', '.join(report.critical_objects) or '(none)'}")
+        plan = _build_persistence_plan(args, factory)
         cfg = CampaignConfig(
             n_tests=args.tests, seed=args.seed, plan=plan, n_cores=args.cores,
             crash_model=getattr(args, "crash_model", "whole-cache-loss"),
@@ -466,11 +612,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             from repro.nvct.serialize import save_campaign
 
             print(f"campaign saved to {save_campaign(result, args.save)}")
-        print(campaign_summary(result))
-        print()
-        print(region_breakdown(result))
-        print()
-        print(object_inconsistency_table(result))
+        _print_single_result(result)
         if reg is not None:
             from pathlib import Path
 
@@ -490,7 +632,6 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 def _cluster_campaign(args, factory, cfg, retry, crash_plan) -> int:
     """The multi-node leg of ``repro campaign`` (--nodes/--correlation)."""
     from repro.cluster import run_cluster_campaign
-    from repro.cluster.report import cluster_summary, decision_log, recovery_mix_table
 
     if getattr(args, "until_stable", False):
         print("campaign: --until-stable is not supported with --nodes/"
@@ -515,22 +656,92 @@ def _cluster_campaign(args, factory, cfg, retry, crash_plan) -> int:
         trial_timeout=getattr(args, "trial_timeout", None),
         golden=False if getattr(args, "no_golden", False) else None,
     )
-    if getattr(args, "save", None):
-        from repro.nvct.serialize import save_cluster_result
+    _print_cluster_result(result, args)
+    return 0
 
-        print(f"cluster campaign saved to {save_cluster_result(result, args.save)}")
-    if getattr(args, "recovery_log", None):
-        import json as _json
 
-        from repro.obs.export import write_text
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.apps.registry import get_factory
+    from repro.nvct.campaign import CampaignConfig, run_campaign
+    from repro.service import CampaignScheduler, serve_forever
 
-        out = write_text(args.recovery_log, _json.dumps(result.log.to_dict(), indent=1))
-        print(f"recovery log written to {out}")
-    print(cluster_summary(result))
-    print()
-    print(recovery_mix_table(result.log))
-    print()
-    print(decision_log(result.log))
+    _install_sigterm_handler()
+    factory = get_factory(args.app)
+    plan = _build_persistence_plan(args, factory)
+    cfg = CampaignConfig(
+        n_tests=args.tests, seed=args.seed, plan=plan, n_cores=args.cores,
+        crash_model=args.crash_model, nodes=args.nodes,
+        correlation=args.correlation, burst_window_s=args.burst_window,
+    )
+    crash_plan = None
+    if args.crash_plan:
+        from repro.analysis.equiv_pass import CrashPlan
+
+        crash_plan = CrashPlan.load(args.crash_plan)
+    golden = False if args.no_golden else None
+    scheduler = CampaignScheduler(
+        factory,
+        cfg,
+        journal=args.journal,
+        lease_journal=args.lease_journal,
+        chunk_size=args.chunk_size,
+        deadline_s=args.heartbeat_deadline,
+        resume=args.resume,
+        crash_plan=crash_plan,
+        golden=golden,
+        trial_timeout=args.trial_timeout,
+    )
+    scheduler.prepare()
+    assert scheduler.table is not None
+    counts = scheduler.table.counts()
+    print(
+        f"serving {factory.name}: {len(scheduler.table.states)} chunk(s) "
+        f"({counts['committed']} already committed), "
+        f"lease deadline {args.heartbeat_deadline:g}s, socket {args.socket}"
+    )
+    serve_forever(scheduler, args.socket)
+    print("campaign complete; assembling the result from the journals")
+    # The service is a drop-in superset of `repro campaign`: the final
+    # result is the ordinary engine replaying the now-complete journals
+    # (bit-identical by construction) and the summary is printed through
+    # the same helpers, so outputs diff clean against a serial run.
+    if cfg.nodes > 1 or cfg.correlation > 0.0:
+        from repro.cluster import run_cluster_campaign
+
+        result = run_cluster_campaign(
+            factory, cfg, journal=args.journal,
+            trial_timeout=args.trial_timeout, golden=golden,
+        )
+        _print_cluster_result(result, args)
+        return 0
+    result = run_campaign(
+        factory, cfg, journal=args.journal, plan=crash_plan,
+        trial_timeout=args.trial_timeout, golden=golden,
+    )
+    if args.save:
+        from repro.nvct.serialize import save_campaign
+
+        print(f"campaign saved to {save_campaign(result, args.save)}")
+    _print_single_result(result)
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.service import run_worker
+
+    _install_sigterm_handler()
+    retry = None
+    if args.max_retries is not None:
+        from repro.harness.resilience import RetryPolicy
+
+        retry = RetryPolicy(max_retries=args.max_retries, base_delay=0.1, max_delay=2.0)
+    committed = run_worker(
+        args.socket,
+        name=args.name,
+        idle_timeout_s=args.idle_timeout,
+        retry=retry,
+    )
+    print(f"worker done: {committed} chunk(s) committed")
     return 0
 
 
@@ -801,6 +1012,12 @@ def main(argv: list[str] | None = None) -> int:
     except JournalError as exc:
         print(f"journal: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    except ServiceError as exc:
+        # The command ran but the service could not finish its job (e.g.
+        # a worker's circuit breaker tripped): a failure, not a usage
+        # error — journals are intact, another worker can carry on.
+        print(f"service: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
     except UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
@@ -823,6 +1040,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_stats(args)
     if args.command == "doctor":
         return _cmd_doctor(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "work":
+        return _cmd_work(args)
     if args.command == "advise":
         return _cmd_advise(args)
     if args.command == "system":

@@ -93,3 +93,10 @@ class TrialTimeout(ReproError):
 class JournalError(ReproError):
     """Raised when a campaign journal cannot be used for the requested run
     (e.g. ``--resume`` with a journal written for a different campaign)."""
+
+
+class ServiceError(ReproError):
+    """Raised when the campaign orchestration service cannot continue
+    (e.g. a worker's circuit breaker trips after repeated chunk failures,
+    or a scheduler socket cannot be bound).  The CLI maps it to exit
+    code 1: the command ran but the service could not finish its job."""

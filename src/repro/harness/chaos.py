@@ -41,6 +41,25 @@ site                  faults it can fire
                       coordinated rollback barrier; recovery *timing*
                       stretches but results must stay bit-identical
                       (:mod:`repro.cluster.recovery`)
+``service.record``    ``msg_drop`` (a streamed trial record never reaches
+                      the scheduler — the commit-time completeness check
+                      must ask for it again), ``msg_duplicate`` (the
+                      record arrives twice — the scheduler's exactly-once
+                      ledger must journal it once)
+``service.heartbeat`` ``msg_drop`` / ``msg_duplicate`` on the wire, and
+                      ``heartbeat_delay`` — the worker sits out one
+                      heartbeat as if the message were delayed past the
+                      deadline, so the reaper can expire a live worker's
+                      lease (its late commit must then be fenced)
+``service.lease``     ``lease_steal`` — the scheduler invalidates a lease
+                      right after granting it, as if a reaper on another
+                      node had already re-issued the chunk; the original
+                      holder becomes a zombie whose commit is rejected by
+                      its stale fencing token (:mod:`repro.service`)
+``service.worker``    ``worker_death`` — the ``repro work`` process calls
+                      ``os._exit`` between two trials of a chunk; the
+                      missed heartbeats expire the lease and another
+                      worker re-runs the chunk
 ===================== =====================================================
 
 Determinism: whether call *n* at a site fires is a pure function of
@@ -91,6 +110,10 @@ FAULT_KINDS = (
     "torn_writeback",
     "node_death",
     "straggler_node",
+    "msg_drop",
+    "msg_duplicate",
+    "lease_steal",
+    "heartbeat_delay",
 )
 
 #: Seconds a parallel chunk may take when worker-death chaos is active.
@@ -185,6 +208,33 @@ class ChaosInjector:
             return False
         time.sleep(SLOW_IO_SECONDS)
         return True
+
+    def drops(self, site: str) -> bool:
+        """Fire ``msg_drop``: the caller should not send this message."""
+        return self.fires(site, "msg_drop")
+
+    def duplicates(self, site: str) -> bool:
+        """Fire ``msg_duplicate``: the caller should send the message twice."""
+        return self.fires(site, "msg_duplicate")
+
+    def steals(self, site: str) -> bool:
+        """Fire ``lease_steal``: the just-granted lease is invalidated.
+
+        The scheduler marks the lease for immediate expiry, so the next
+        reaper tick re-enqueues the chunk and re-grants it under a higher
+        fencing token — the original holder keeps working as a zombie and
+        its eventual commit must be rejected.
+        """
+        return self.fires(site, "lease_steal")
+
+    def delays_heartbeat(self, site: str) -> bool:
+        """Fire ``heartbeat_delay``: the worker sits out one heartbeat.
+
+        Pure in ``(seed, site, kind, call#)`` like every kind — the
+        worker simply skips the send, which is indistinguishable (to the
+        scheduler) from the message being delayed past the deadline.
+        """
+        return self.fires(site, "heartbeat_delay")
 
     def corrupt(self, site: str, data: bytes) -> bytes:
         """Fire ``corrupt_read``: return ``data`` with deterministic damage."""

@@ -57,6 +57,7 @@ __all__ = [
     "CrashTestRecord",
     "CampaignConfig",
     "CampaignResult",
+    "campaign_points",
     "run_campaign",
     "measure_run",
 ]
@@ -519,6 +520,38 @@ def _broadcast_plan_records(
         )
 
 
+def campaign_points(
+    factory: AppFactory, cfg: CampaignConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Profile one application and sample its campaign's crash points.
+
+    Returns ``(points, weights)``: the sorted deduplicated crash counters
+    the instrumented run will snapshot, and the multiplicity each point
+    carries (:attr:`CrashTestRecord.weight`).  This is *the* sampling
+    function — :func:`run_campaign`, the orchestration service's
+    scheduler, and its stateless workers all call it, which is what lets
+    a worker re-derive a chunk's snapshots from nothing but the campaign
+    config and still produce records bit-identical to a serial run.
+    """
+    reg = registry()
+    tracer = reg.tracer if reg is not None else None
+    with maybe_span(tracer, "profile", app=factory.name):
+        counting = CountingRuntime()
+        profiling_app = factory.make(runtime=counting)
+        profiling_app.run()
+    window = (counting.window_begin or 0, counting.counter)
+
+    # Node 0 keeps the historical sampling key; higher shards fold
+    # their node index in — real SPMD ranks crash a burst at the same
+    # wall clock but different instruction counters, and this is what
+    # makes an N=1 cluster bit-identical to the plain campaign.
+    sample_key = factory.name if cfg.node == 0 else f"{factory.name}#node{cfg.node}"
+    points = _sample_crash_points(
+        window, cfg.n_tests, cfg.seed, sample_key, cfg.distribution
+    )
+    return _dedupe_crash_points(points)
+
+
 def run_campaign(
     factory: AppFactory,
     cfg: CampaignConfig,
@@ -606,24 +639,10 @@ def run_campaign(
         with maybe_span(tracer, "golden", app=factory.name):
             golden_result, _ = factory.golden()
 
-        # Profile pass: total access count and the main-loop crash window.
-        with maybe_span(tracer, "profile", app=factory.name):
-            counting = CountingRuntime()
-            profiling_app = factory.make(runtime=counting)
-            profiling_app.run()
-        window = (counting.window_begin or 0, counting.counter)
-
-        # Node 0 keeps the historical sampling key; higher shards fold
-        # their node index in — real SPMD ranks crash a burst at the same
-        # wall clock but different instruction counters, and this is what
-        # makes an N=1 cluster bit-identical to the plain campaign.
-        sample_key = (
-            factory.name if cfg.node == 0 else f"{factory.name}#node{cfg.node}"
-        )
-        points = _sample_crash_points(
-            window, cfg.n_tests, cfg.seed, sample_key, cfg.distribution
-        )
-        points, weights = _dedupe_crash_points(points)
+        # Profile pass: total access count and the main-loop crash window,
+        # then sample + dedupe the crash points (shared with the
+        # orchestration service, which re-derives the same points).
+        points, weights = campaign_points(factory, cfg)
         if crash_plan is not None and (
             crash_plan.points != [int(p) for p in points]
             or crash_plan.weights != [int(w) for w in weights]

@@ -1,0 +1,378 @@
+"""Lease state machine, lease journal, and the exactly-once trial ledger.
+
+The scheduler's whole queue is three small, separately testable pieces:
+
+* :class:`LeaseTable` — pure in-memory state machine over the campaign's
+  chunks.  **No wall-clock reads**: every time-dependent transition takes
+  ``now`` from the caller, so reaper tests drive a fake clock and run
+  deterministically without sleeps.  Fencing tokens come from one global
+  monotonically increasing counter; a commit is accepted iff the chunk is
+  still leased *and* the presented token is the lease's current token —
+  an expired-and-regranted chunk fences the zombie's stale token, and an
+  expired-but-not-yet-regranted chunk is ``pending`` (not leased), so a
+  zombie commit is rejected either way.
+* :class:`LeaseJournal` — the fsync'd write-ahead log of grant / expire /
+  commit events, one CRC-sealed JSONL line each (the exact envelope the
+  campaign journal uses, :func:`repro.harness.store.seal_line`).  Events
+  are journaled *before* their effect is exposed (a grant is durable
+  before the worker sees it), so ``repro serve --resume`` rebuilds the
+  table by pure replay; foreign journals are refused through the same
+  campaign-key + topology-fingerprint checks as campaign journals.
+* :class:`TrialLedger` — the exactly-once sink in front of one shard's
+  campaign journal: a record is appended iff its trial index has never
+  been journaled.  Deduplicating by index is sufficient because
+  classification is deterministic — a duplicate delivery or a zombie's
+  in-flight record carries bit-identical content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import JournalError
+from repro.obs.metrics import bump
+
+if TYPE_CHECKING:
+    from repro.nvct.campaign import CrashTestRecord
+    from repro.nvct.journal import CampaignJournal
+
+__all__ = [
+    "Chunk",
+    "LeaseState",
+    "LeaseTable",
+    "LeaseJournal",
+    "TrialLedger",
+    "lease_header",
+]
+
+#: Lease states (a chunk is exactly one of these at any time).
+PENDING = "pending"
+LEASED = "leased"
+COMMITTED = "committed"
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One unit of leased work: a fixed set of trial indices on one shard.
+
+    ``indices`` is an explicit tuple (not a range) because a pruned crash
+    plan executes a non-contiguous subset of the campaign's trials.
+    """
+
+    chunk_id: int
+    node: int
+    indices: tuple[int, ...]
+
+
+@dataclass
+class LeaseState:
+    """Mutable lease bookkeeping for one chunk."""
+
+    chunk: Chunk
+    status: str = PENDING
+    token: int = 0  # 0 = never granted; real tokens start at 1
+    worker: str = ""
+    deadline: float = 0.0  # on the caller's clock; meaningless unless LEASED
+    stolen: bool = False  # lease_steal chaos: expire at the next reap
+
+
+class LeaseTable:
+    """The scheduler's queue: chunks moving pending → leased → committed.
+
+    Purely in-memory and clock-free; the scheduler journals every
+    transition through :class:`LeaseJournal` and replays the journal back
+    through :meth:`apply` on ``--resume``.
+    """
+
+    def __init__(self, chunks: list[Chunk], deadline_s: float):
+        if deadline_s <= 0:
+            raise ValueError(f"lease deadline must be positive, got {deadline_s}")
+        self.deadline_s = float(deadline_s)
+        self.states = {c.chunk_id: LeaseState(c) for c in chunks}
+        self.next_token = 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def done(self) -> bool:
+        return all(s.status == COMMITTED for s in self.states.values())
+
+    def counts(self) -> dict[str, int]:
+        out = {PENDING: 0, LEASED: 0, COMMITTED: 0}
+        for s in self.states.values():
+            out[s.status] += 1
+        return out
+
+    # -- live transitions ------------------------------------------------------
+
+    def grant(self, worker: str, now: float) -> LeaseState | None:
+        """Lease the lowest-id pending chunk to ``worker``; ``None`` if none.
+
+        The fencing token is drawn from the single global counter, so
+        tokens are strictly increasing across *all* grants — the total
+        order that makes "stale token" well defined.
+        """
+        for chunk_id in sorted(self.states):
+            st = self.states[chunk_id]
+            if st.status == PENDING:
+                st.status = LEASED
+                st.token = self.next_token
+                self.next_token += 1
+                st.worker = worker
+                st.deadline = now + self.deadline_s
+                st.stolen = False
+                return st
+        return None
+
+    def heartbeat(self, chunk_id: int, token: int, now: float) -> bool:
+        """Extend the lease deadline; ``False`` if the lease is not current."""
+        st = self.states.get(chunk_id)
+        if st is None or st.status != LEASED or st.token != token:
+            return False
+        st.deadline = now + self.deadline_s
+        return True
+
+    def expire_due(self, now: float) -> list[LeaseState]:
+        """Reap: return (and re-enqueue) every lease past its deadline."""
+        out = []
+        for st in self.states.values():
+            if st.status == LEASED and (st.stolen or now >= st.deadline):
+                st.status = PENDING
+                st.worker = ""
+                st.stolen = False
+                # token is kept: the *next* grant draws a fresh, higher one,
+                # and the old value documents which grant was reaped.
+                out.append(st)
+        return out
+
+    def commit(self, chunk_id: int, token: int) -> str:
+        """Try to commit a chunk: ``"ok"``, ``"fenced"`` or ``"duplicate"``.
+
+        ``fenced`` covers both zombie cases — the chunk was re-granted
+        under a higher token, or it expired and sits pending.  A commit
+        of an already-committed chunk is a ``duplicate`` (e.g. the ack
+        was lost and the worker retried): harmless, not an error.
+        """
+        st = self.states.get(chunk_id)
+        if st is None:
+            return "fenced"
+        if st.status == COMMITTED:
+            return "duplicate"
+        if st.status != LEASED or st.token != token:
+            return "fenced"
+        st.status = COMMITTED
+        return "ok"
+
+    # -- journal replay --------------------------------------------------------
+
+    def apply(self, event: dict) -> None:
+        """Replay one journaled event (grant / expire / commit).
+
+        Replay is forgiving where live transitions are strict: the journal
+        is the authority, and an event for an unknown chunk (a corrupt
+        campaign would have been refused by the header check long before)
+        is ignored rather than fatal.
+        """
+        st = self.states.get(int(event.get("chunk", -1)))
+        if st is None:
+            return
+        kind = event.get("event")
+        token = int(event.get("token", 0))
+        if kind == "grant":
+            st.status = LEASED
+            st.token = token
+            st.worker = str(event.get("worker", ""))
+            st.deadline = 0.0  # a replayed lease is immediately reapable
+        elif kind == "expire":
+            if st.status == LEASED:
+                st.status = PENDING
+                st.worker = ""
+        elif kind == "commit":
+            st.status = COMMITTED
+        if token >= self.next_token:
+            # Tokens stay strictly increasing across scheduler restarts.
+            self.next_token = token + 1
+
+
+def lease_header(
+    factory, cfg, *, chunk_size: int, deadline_s: float, n_chunks: int
+) -> dict:
+    """Header line of a lease journal.
+
+    Rides on :func:`repro.nvct.journal.campaign_header` — same campaign
+    content key, same optional topology fingerprint — plus the service
+    parameters that shape the chunk layout, so a resume under a different
+    ``--chunk-size`` is refused instead of replaying events against a
+    differently numbered queue.  ``journal: "leases"`` keeps a campaign
+    journal from ever being mistaken for a lease journal or vice versa.
+    """
+    from repro.nvct.journal import campaign_header
+
+    header = campaign_header(factory, cfg)
+    header["journal"] = "leases"
+    header["chunk_size"] = int(chunk_size)
+    header["deadline_s"] = float(deadline_s)
+    header["n_chunks"] = int(n_chunks)
+    return header
+
+
+class LeaseJournal:
+    """Append-only fsync'd event journal for one scheduler's queue.
+
+    Same write-ahead discipline as the campaign journal: an event is
+    either durably on disk or it never happened.  The torn tail a
+    SIGKILL can leave is quarantined and truncated on resume, exactly
+    like :meth:`repro.nvct.journal.CampaignJournal.open_or_resume` —
+    losing the tail is always safe because every lost event is
+    re-derivable (an un-journaled grant was never exposed to a worker;
+    an un-journaled commit leaves the chunk pending and it re-runs).
+    """
+
+    def __init__(self, path: str | Path, header: dict):
+        self.path = Path(path)
+        self.header = header
+        self._fh = None  # type: ignore[assignment]
+
+    @classmethod
+    def create(cls, path: str | Path, header: dict) -> "LeaseJournal":
+        journal = cls(path, header)
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        journal._fh = open(journal.path, "wb")
+        journal._write_line(header)
+        return journal
+
+    @classmethod
+    def open_or_resume(
+        cls, path: str | Path, header: dict
+    ) -> tuple["LeaseJournal", list[dict]]:
+        """Resume ``path`` if it journals this queue, else start fresh.
+
+        Returns the journal and every intact replayable event, in append
+        order.  Refusal rules mirror the campaign journal's (topology
+        first, then the content key), plus the service-shape check: a
+        journal written under a different chunk size describes a
+        different queue and cannot be replayed onto this one.
+        """
+        from repro.harness.store import quarantine_bytes
+        from repro.nvct.journal import scan_journal
+
+        path = Path(path)
+        if not path.exists() or path.stat().st_size == 0:
+            return cls.create(path, header), []
+        raw = path.read_bytes()
+        found, lines, valid = scan_journal(raw)
+        if found is None or found.get("journal") != "leases":
+            raise JournalError(
+                f"{path}: not a lease journal (delete it or pick another path)"
+            )
+        if found.get("topology") != header.get("topology"):
+            raise JournalError(
+                f"{path}: lease journal was recorded under a different cluster "
+                f"topology (found {found.get('topology')!r}, campaign has "
+                f"{header.get('topology')!r}); refusing to resume"
+            )
+        if found.get("key") != header.get("key"):
+            raise JournalError(
+                f"{path}: lease journal belongs to a different campaign "
+                f"(app {found.get('app')!r}, key {str(found.get('key'))[:12]}…); "
+                "refusing to resume"
+            )
+        for param in ("chunk_size", "deadline_s", "n_chunks"):
+            if found.get(param) != header.get(param):
+                raise JournalError(
+                    f"{path}: lease journal was written with {param}="
+                    f"{found.get(param)!r} but this run asks for "
+                    f"{header.get(param)!r} — the chunk layout would not "
+                    "match; re-run with the original value or start fresh"
+                )
+        tail = raw[valid:]
+        if tail:
+            quarantine_bytes(tail, path.parent, path.name + ".tail")
+        events = [
+            {k: v for k, v in doc.items() if k != "crc"}
+            for doc, _ in lines
+            if doc.get("kind") == "lease-event"
+        ]
+        journal = cls(path, found)
+        journal._fh = open(path, "r+b")
+        journal._fh.truncate(valid)
+        journal._fh.seek(valid)
+        bump("service.lease_journal_resumes", unit="resumes")
+        return journal, events
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            finally:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "LeaseJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _write_line(self, doc: dict) -> None:
+        from repro.harness.chaos import injector as chaos_injector
+        from repro.harness.store import seal_line
+
+        assert self._fh is not None, "lease journal is closed"
+        line = json.dumps(seal_line(doc), sort_keys=True).encode("utf-8") + b"\n"
+        if (ch := chaos_injector()) is not None:
+            ch.maybe_sleep("journal.append")
+            ch.check_io("journal.append")
+        self._fh.write(line)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    #: Same bounded-retry budget as the campaign journal's appends.
+    APPEND_ATTEMPTS = 3
+
+    def append(self, event: dict) -> None:
+        """Durably journal one lease event (fsync before returning)."""
+        doc = {"kind": "lease-event", **event}
+        for attempt in range(self.APPEND_ATTEMPTS):
+            try:
+                self._write_line(doc)
+                break
+            except OSError:
+                if attempt == self.APPEND_ATTEMPTS - 1:
+                    raise
+                self._fh = open(self.path, "ab")
+        bump("service.lease_events", unit="events")
+
+
+@dataclass
+class TrialLedger:
+    """Exactly-once gate in front of one shard's campaign journal.
+
+    ``add`` journals a record iff its index is new; duplicates — a
+    re-sent record after a lost ack, a ``msg_duplicate`` chaos double, a
+    zombie's in-flight stream — are dropped and counted.  Safe because
+    classification is deterministic: every delivery of index ``i``
+    carries the bit-identical record.
+    """
+
+    journal: "CampaignJournal | None"
+    indices: set[int] = field(default_factory=set)
+
+    def add(self, index: int, record: "CrashTestRecord") -> bool:
+        if index in self.indices:
+            bump("service.duplicate_records", unit="records")
+            return False
+        if self.journal is not None:
+            self.journal.append(index, record)
+        self.indices.add(index)
+        return True
+
+    def has(self, index: int) -> bool:
+        return index in self.indices
+
+    def missing(self, indices: tuple[int, ...]) -> list[int]:
+        return [i for i in indices if i not in self.indices]

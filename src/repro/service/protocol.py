@@ -1,0 +1,163 @@
+"""Line-oriented JSON protocol between ``repro serve`` and ``repro work``.
+
+One message = one line = one CRC-sealed JSON document — the exact
+envelope journal lines use (:func:`repro.harness.store.seal_line`), so a
+flipped bit on the wire is caught the same way a rotted journal line is.
+Messages are dicts with an ``"op"`` field:
+
+========== ============ ====================================================
+direction  op           payload
+========== ============ ====================================================
+w → s      ``lease``    ``worker`` — request a chunk (also serves as hello)
+w → s      ``heartbeat````chunk``, ``token`` — keep a lease alive
+                        (fire-and-forget; droppable)
+w → s      ``record``   ``chunk``, ``token``, ``index``, ``record`` — one
+                        classified trial (fire-and-forget; droppable)
+w → s      ``commit``   ``chunk``, ``token`` — all records streamed; seal it
+s → w      ``grant``    ``chunk``, ``token``, ``node``, ``indices``,
+                        ``deadline_s``, ``spec`` — a lease (``spec`` is the
+                        self-contained campaign description below)
+s → w      ``wait``     nothing leasable right now (all chunks in flight)
+s → w      ``done``     campaign complete; the worker exits 0
+s → w      ``ack``      commit accepted
+s → w      ``retry``    ``missing`` — commit premature: these indices never
+                        arrived (dropped records); resend, then re-commit
+s → w      ``fenced``   commit rejected: the lease expired or was re-granted
+                        (the worker is a zombie for this chunk; drop it)
+========== ============ ====================================================
+
+Reliability split: ``lease`` and ``commit`` are request/reply on a
+connected stream — they cannot be silently lost.  ``record`` and
+``heartbeat`` are fire-and-forget, which is where the ``msg_drop`` /
+``msg_duplicate`` chaos kinds bite; the commit-time completeness check
+(``retry``) closes the dropped-record hole, and the missed-heartbeat
+reaper plus fencing closes the dropped-heartbeat one.
+
+The ``spec`` makes workers stateless: ``app`` + the full campaign config
+document lets a worker re-derive the golden run, the crash points, and
+every snapshot from nothing, and the embedded content ``key`` (the same
+SHA-256 the artifact cache and journal headers use) is re-computed and
+checked worker-side, so a worker running skewed code refuses the work
+instead of producing records that merely look compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.errors import ServiceError, SnapshotCorruptError
+from repro.obs.metrics import bump
+
+if TYPE_CHECKING:
+    from repro.nvct.campaign import CampaignConfig
+
+__all__ = [
+    "encode",
+    "decode_line",
+    "LineReader",
+    "config_to_doc",
+    "config_from_doc",
+]
+
+
+def encode(doc: dict) -> bytes:
+    """One message, sealed and newline-terminated (the wire format)."""
+    from repro.harness.store import seal_line
+
+    return json.dumps(seal_line(doc), sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict | None:
+    """Decode one received line; ``None`` (counted) if torn or corrupt.
+
+    A bad line is treated like a dropped message — the retry/reaper
+    machinery recovers — rather than poisoning the connection.
+    """
+    from repro.harness.store import open_line
+
+    try:
+        doc = json.loads(line)
+        if not isinstance(doc, dict):
+            raise ValueError("not an object")
+        return open_line(doc)
+    except (ValueError, KeyError, TypeError, SnapshotCorruptError):
+        bump("service.bad_lines", unit="messages")
+        return None
+
+
+class LineReader:
+    """Incremental splitter: feed raw socket bytes, get decoded messages."""
+
+    def __init__(self) -> None:
+        self._buf = b""
+
+    def feed(self, data: bytes) -> list[dict]:
+        self._buf += data
+        out = []
+        while (pos := self._buf.find(b"\n")) >= 0:
+            line, self._buf = self._buf[:pos], self._buf[pos + 1 :]
+            if (doc := decode_line(line)) is not None:
+                out.append(doc)
+        return out
+
+
+# -- campaign-config transport -------------------------------------------------
+
+
+def config_to_doc(cfg: "CampaignConfig") -> dict:
+    """Ship a campaign config to a stateless worker, losslessly.
+
+    Unlike the content-key document (which drops defaults for key
+    stability) this carries *every* field explicitly — the worker must
+    reconstruct the exact config, not just fingerprint it.  A custom
+    ``hierarchy`` is refused: the service CLI never sets one, and
+    shipping arbitrary hierarchy objects is not worth the surface.
+    """
+    from repro.nvct.serialize import plan_to_dict
+
+    if cfg.hierarchy is not None:
+        raise ServiceError(
+            "the orchestration service cannot ship a custom memory "
+            "hierarchy to workers; run this campaign with `repro campaign`"
+        )
+    return {
+        "n_tests": cfg.n_tests,
+        "seed": cfg.seed,
+        "plan": plan_to_dict(cfg.plan),
+        "verified_mode": cfg.verified_mode,
+        "max_iter_factor": cfg.max_iter_factor,
+        "distribution": cfg.distribution,
+        "n_cores": cfg.n_cores,
+        "crash_model": cfg.crash_model,
+        "nodes": cfg.nodes,
+        "correlation": cfg.correlation,
+        "burst_window_s": cfg.burst_window_s,
+        "node": cfg.node,
+    }
+
+
+def config_from_doc(doc: dict) -> "CampaignConfig":
+    """Rebuild the exact :class:`CampaignConfig` a scheduler shipped."""
+    from repro.nvct.campaign import CampaignConfig
+    from repro.nvct.serialize import plan_from_dict
+
+    try:
+        return replace(
+            CampaignConfig(),
+            n_tests=int(doc["n_tests"]),
+            seed=int(doc["seed"]),
+            plan=plan_from_dict(doc["plan"]),
+            verified_mode=bool(doc["verified_mode"]),
+            max_iter_factor=float(doc["max_iter_factor"]),
+            distribution=str(doc["distribution"]),
+            n_cores=int(doc["n_cores"]),
+            crash_model=str(doc["crash_model"]),
+            nodes=int(doc["nodes"]),
+            correlation=float(doc["correlation"]),
+            burst_window_s=float(doc["burst_window_s"]),
+            node=int(doc["node"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed campaign spec from scheduler: {exc!r}") from exc

@@ -1,0 +1,102 @@
+"""SIGTERM is a *graceful* stop for every journal-writing command.
+
+A supervisor's plain ``kill`` must flush and fsync the journals and exit
+with the documented INTERRUPTED code (130), leaving a journal that
+``--resume`` picks up cleanly — unlike SIGKILL, which is allowed to tear
+the tail (tests/cluster/test_sigkill_resume.py covers that half).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.apps.registry import get_factory
+from repro.nvct.campaign import CampaignConfig, run_campaign
+from repro.nvct.serialize import campaign_to_dict
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGTERM") or os.name == "nt", reason="needs POSIX signals"
+)
+
+_CHILD_CAMPAIGN = """
+import sys, time
+import repro.nvct.campaign as camp
+_orig = camp._classify
+def _slow(*a, **k):
+    time.sleep(0.2)  # give the parent time to TERM us mid-campaign
+    return _orig(*a, **k)
+camp._classify = _slow
+from repro.cli import main
+sys.exit(main(["campaign", "EP", "--tests", "10", "--seed", "3",
+               "--resume", sys.argv[1]]))
+"""
+
+_CHILD_WORK = """
+import sys
+from repro.cli import main
+# The socket never exists: the worker sits in its connect-retry loop,
+# which is exactly where a supervisor's TERM tends to land.
+sys.exit(main(["work", "--socket", sys.argv[1], "--idle-timeout", "60"]))
+"""
+
+
+def _spawn(child, *argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+    return subprocess.Popen(
+        [sys.executable, "-c", child, *argv],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+
+
+def test_sigterm_campaign_flushes_journal_and_exits_130(tmp_path):
+    journal = tmp_path / "j.jsonl"
+    proc = _spawn(_CHILD_CAMPAIGN, str(journal))
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                out, err = proc.communicate()
+                pytest.fail(f"campaign finished before the TERM: {err.decode()!r}")
+            # header + at least one journaled trial
+            if journal.exists() and journal.read_bytes().count(b"\n") >= 2:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("journal never accumulated trials")
+        os.kill(proc.pid, signal.SIGTERM)
+        _out, err = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == 130
+    assert b"interrupted" in err and b"--resume" in err
+    # the flushed journal resumes to the exact serial result
+    cfg = CampaignConfig(n_tests=10, seed=3)
+    factory = get_factory("EP")
+    resumed = run_campaign(factory, cfg, journal=journal)
+    baseline = run_campaign(factory, cfg)
+    assert json.dumps(campaign_to_dict(resumed), sort_keys=True) == json.dumps(
+        campaign_to_dict(baseline), sort_keys=True
+    )
+
+
+def test_sigterm_worker_exits_130(tmp_path):
+    proc = _spawn(_CHILD_WORK, str(tmp_path / "never.sock"))
+    try:
+        time.sleep(1.0)  # let it enter the retry loop
+        assert proc.poll() is None, "worker exited before the TERM"
+        os.kill(proc.pid, signal.SIGTERM)
+        _out, err = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == 130
+    assert b"interrupted" in err

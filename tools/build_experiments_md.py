@@ -354,6 +354,37 @@ journal* section of `docs/API.md`.
 """
 
 
+def _service_section() -> str:
+    """Static recipe: scaling a campaign across worker processes."""
+    return """## Recipe — scaling a campaign across workers
+
+`--jobs` forks one process pool inside a single `repro campaign`; the
+orchestration service scales past it.  One scheduler shards the campaign
+into leased chunks and any number of stateless workers drain them —
+separate processes, started and stopped freely while the campaign runs:
+
+```bash
+python -m repro serve MG --tests 2000 --socket mg.sock \\
+    --journal mg.jsonl --save mg-service.json &
+python -m repro work --socket mg.sock --name w0 &
+python -m repro work --socket mg.sock --name w1 &
+python -m repro work --socket mg.sock --name w2 &
+wait
+```
+
+Workers may be SIGKILLed at any point — missed heartbeats expire their
+leases, the chunks re-run elsewhere, and fencing tokens reject any
+zombie's late commit.  So may the scheduler: `repro serve --resume`
+rebuilds its queue purely from the lease + campaign journals.  However
+the run was mangled, the saved result is **byte-identical** to a serial
+`repro campaign MG --tests 2000 --save` — CI's `service-soak` job
+SIGKILLs two workers plus the scheduler per push, under the message
+chaos kinds (`msg_drop`, `msg_duplicate`, `lease_steal`,
+`heartbeat_delay`), and `cmp`s the artifacts.  See *Campaign
+orchestration service* in `docs/API.md`.
+"""
+
+
 def _equivalence_section() -> str:
     """Live table: equivalence-class counts vs naive crash-point sampling."""
     header = """## Crash-plan equivalence pruning vs naive sampling
@@ -468,6 +499,7 @@ def main() -> int:
     missing: list[str] = []
     parts = _render_sections(missing)
     parts.append(_chaos_section())
+    parts.append(_service_section())
     parts.append(_golden_section())
     parts.append(_equivalence_section())
     parts.append(_perf_section())
